@@ -1,0 +1,32 @@
+"""Figure 1: satellites required to cover one RGT vs. a Walker-delta minimum."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import figure01_rgt_vs_walker
+from repro.analysis.report import format_table
+
+
+def test_fig01_rgt_vs_walker(benchmark, once):
+    data = once(benchmark, figure01_rgt_vs_walker)
+
+    rows = [
+        [round(float(alt), 1), int(revs), int(rgt), int(walker), bool(uniform)]
+        for alt, revs, rgt, walker, uniform in zip(
+            data["altitude_km"],
+            data["revolutions_per_day"],
+            data["rgt_satellites"],
+            data["walker_satellites"],
+            data["uniform_coverage"],
+        )
+    ]
+    print("\nFigure 1: RGT vs Walker satellite counts")
+    print(format_table(["altitude_km", "revs/day", "RGT", "Walker", "uniform"], rows))
+
+    # Paper shape: covering a single RGT never beats the Walker baseline, and
+    # only the lowest-altitude LEO RGTs avoid degenerating to uniform coverage.
+    assert all(
+        rgt >= walker
+        for rgt, walker in zip(data["rgt_satellites"], data["walker_satellites"])
+    )
+    assert data["uniform_coverage"].sum() >= len(rows) - 2
+    assert not data["uniform_coverage"][0]

@@ -1,0 +1,25 @@
+"""Figure 2: example repeat ground track and its coverage swath."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure02_rgt_ground_track
+
+
+def test_fig02_rgt_ground_track(benchmark, once):
+    data = once(benchmark, figure02_rgt_ground_track)
+
+    print(
+        f"\nFigure 2: RGT {data['revolutions']}:1 at {data['altitude_km']:.1f} km, "
+        f"{len(data['latitude_deg'])} samples, swath half-width "
+        f"{data['swath_half_width_deg']:.2f} deg"
+    )
+
+    # The example track is the ~15 rev/day LEO repeat orbit near 500-560 km at
+    # 65 degrees inclination; its ground track reaches +-65 degrees latitude
+    # and wraps all longitudes.
+    assert data["revolutions"] in (14, 15, 16)
+    assert 450.0 <= data["altitude_km"] <= 900.0
+    assert np.max(np.abs(data["latitude_deg"])) <= 65.5
+    assert np.ptp(data["longitude_deg"]) > 300.0

@@ -1,0 +1,30 @@
+"""Figure 3: maximum population density per latitude band."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure03_population_by_latitude
+from repro.analysis.report import format_series
+
+
+def test_fig03_population_by_latitude(benchmark, once):
+    data = once(benchmark, figure03_population_by_latitude)
+
+    lats = data["latitude_deg"]
+    density = data["max_density_per_km2"]
+    step = max(1, len(lats) // 24)
+    print("\nFigure 3:")
+    print(
+        format_series(
+            "Max population density per latitude", lats[::step], density[::step],
+            "latitude_deg", "people_per_km2",
+        )
+    )
+
+    # Paper shape: peak of a few thousand per km^2 at intermediate Northern
+    # latitudes, essentially nothing poleward of 75 degrees.
+    peak_latitude = lats[int(np.argmax(density))]
+    assert 15.0 <= peak_latitude <= 45.0
+    assert 2000.0 <= density.max() <= 15000.0
+    assert density[np.abs(lats) > 80.0].max() == 0.0

@@ -1,0 +1,35 @@
+"""Figure 4: bandwidth demand as a function of local time of day."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure04_diurnal_percentiles
+from repro.analysis.report import format_table
+
+
+def test_fig04_diurnal_percentiles(benchmark, once):
+    data = once(benchmark, figure04_diurnal_percentiles, n_days=14)
+
+    rows = [
+        [float(h), round(float(p50), 1), round(float(p95), 1)]
+        for h, p50, p95 in zip(
+            data["hour_of_day"],
+            data["percent_of_median_p50"],
+            data["percent_of_median_p95"],
+        )
+    ]
+    print("\nFigure 4: demand vs local time of day (% of site median)")
+    print(format_table(["hour", "p50", "p95"], rows))
+
+    p50 = data["percent_of_median_p50"]
+    p95 = data["percent_of_median_p95"]
+    # Paper shape: clear diurnal cycle (evening peak well above the
+    # early-morning trough) and a heavily right-skewed cross-site spread.
+    trough_hour = data["hour_of_day"][int(np.argmin(p50))]
+    peak_hour = data["hour_of_day"][int(np.argmax(p50))]
+    assert 1.0 <= trough_hour <= 7.0
+    assert 17.0 <= peak_hour <= 23.0
+    assert p50.max() > 1.8 * p50.min()
+    assert np.all(p95 >= p50)
+    assert p95.max() > 3.0 * p50.max()

@@ -1,0 +1,30 @@
+"""Figure 5: Earth-fixed spatiotemporal demand snapshots through the day."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure05_demand_snapshots
+from repro.analysis.report import format_grid_summary
+
+
+def test_fig05_demand_snapshots(benchmark, once):
+    data = once(benchmark, figure05_demand_snapshots, population_resolution_deg=2.0)
+
+    print("\nFigure 5: demand snapshots")
+    totals = {}
+    for hour in data["hours"]:
+        snapshot = data["snapshots"][float(hour)]
+        totals[float(hour)] = float(snapshot["demand"].sum())
+        print(format_grid_summary(f"hour {hour:04.1f} UTC", snapshot["demand"]))
+
+    # The total instantaneous demand varies through the day as population
+    # centres rotate through their evening peaks (the "louder"/"quieter"
+    # regions of the paper's Figure 5).
+    assert max(totals.values()) > 1.1 * min(totals.values())
+    # Every snapshot keeps the same spatial support (no demand appears over
+    # the oceans at any hour).
+    for hour in data["hours"]:
+        snapshot = data["snapshots"][float(hour)]
+        lats = snapshot["latitude_deg"]
+        assert snapshot["demand"][np.abs(lats) > 80.0, :].max() == 0.0

@@ -1,0 +1,31 @@
+"""Figure 6: maximum electron flux map at 560 km over a solar-cycle sample."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure06_radiation_map
+from repro.analysis.report import format_grid_summary
+
+
+def test_fig06_radiation_map(benchmark, once):
+    data = once(benchmark, figure06_radiation_map, resolution_deg=2.0, n_days=128)
+
+    values = data["electron_flux"]
+    lats = data["latitude_deg"]
+    lons = data["longitude_deg"]
+    row, col = np.unravel_index(int(np.argmax(values)), values.shape)
+    print("\nFigure 6:")
+    print(format_grid_summary("electron flux at 560 km", values))
+    print(f"maximum at latitude {lats[row]:.1f}, longitude {lons[col]:.1f}")
+
+    # Paper structure: (i) the hot region sits in the South-America /
+    # South-Atlantic sector, (ii) distinct high-latitude bands exist in both
+    # hemispheres, (iii) the mid-Pacific at low latitude is comparatively quiet.
+    assert -90.0 <= lons[col] <= 30.0
+    band_max = values.max(axis=1)
+    north_horn = band_max[(lats > 50.0) & (lats < 72.0)].max()
+    south_horn = band_max[(lats < -50.0) & (lats > -72.0)].max()
+    equator_pacific = values[np.abs(lats) < 15.0][:, (lons > 150.0) | (lons < -150.0)].max()
+    assert north_horn > 2.0 * equator_pacific
+    assert south_horn > 2.0 * equator_pacific

@@ -1,0 +1,40 @@
+"""Figure 7: daily radiation fluence as a function of orbital inclination."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure07_fluence_vs_inclination
+from repro.analysis.report import format_table
+from repro.orbits.sunsync import sun_synchronous_inclination_deg
+
+
+def test_fig07_fluence_vs_inclination(benchmark, once):
+    inclinations = np.arange(45.0, 101.0, 2.5)
+    data = once(benchmark, figure07_fluence_vs_inclination, inclinations_deg=inclinations)
+
+    rows = [
+        [float(i), float(e), float(p)]
+        for i, e, p in zip(
+            data["inclination_deg"], data["electron_fluence"], data["proton_fluence"]
+        )
+    ]
+    print("\nFigure 7: daily fluence vs inclination (560 km)")
+    print(format_table(["inclination", "electrons", "protons"], rows))
+
+    electron = data["electron_fluence"]
+    proton = data["proton_fluence"]
+    inc = data["inclination_deg"]
+
+    # Paper shape: electrons peak for moderate inclinations (the orbits that
+    # linger in the outer-belt horns) and drop for sun-synchronous
+    # inclinations; protons decrease monotonically towards high inclinations.
+    peak_inclination = inc[int(np.argmax(electron))]
+    assert 55.0 <= peak_inclination <= 75.0
+    ss_index = int(np.argmin(np.abs(inc - sun_synchronous_inclination_deg(560.0))))
+    assert electron[ss_index] < electron.max() * 0.9
+    assert proton[0] > proton[ss_index]
+    # Magnitudes match the paper's axes: electrons in the 1e9-1e10 range,
+    # protons in the 1e7 range.
+    assert 2e9 < electron.min() and electron.max() < 3e10
+    assert 5e6 < proton.min() and proton.max() < 1e8

@@ -1,0 +1,29 @@
+"""Figure 8: spatiotemporal demand on the (latitude, local-time-of-day) grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure08_demand_grid
+from repro.analysis.report import format_grid_summary
+
+
+def test_fig08_demand_grid(benchmark, once):
+    data = once(benchmark, figure08_demand_grid)
+
+    values = data["demand_percent_of_peak"]
+    lats = data["latitude_deg"]
+    times = data["local_time_hours"]
+    print("\nFigure 8:")
+    print(format_grid_summary("demand (% of peak)", values))
+    row, col = np.unravel_index(int(np.argmax(values)), values.shape)
+    print(f"peak at latitude {lats[row]:.1f} deg, local time {times[col]:.1f} h")
+
+    # Paper structure: demand clustered at intermediate Northern latitudes and
+    # evening local times, with quiet night hours and empty poles.
+    assert 15.0 <= lats[row] <= 45.0
+    assert 18.0 <= times[col] <= 23.0
+    night = values[:, (times > 3.0) & (times < 5.0)].max()
+    evening = values[:, (times > 19.0) & (times < 22.0)].max()
+    assert evening > 2.0 * night
+    assert values[np.abs(lats) > 80.0, :].max() == 0.0

@@ -1,0 +1,41 @@
+"""Figure 9: satellites required to satisfy the demand grid (SS vs. Walker)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure09_figure10_sweep
+from repro.analysis.report import format_table
+
+#: Bandwidth multipliers swept by the benchmark (the paper sweeps ~10-5000;
+#: this range keeps the harness in the minutes range while spanning the
+#: regimes where the SS advantage is largest and where it saturates).
+MULTIPLIERS = (3.0, 10.0, 30.0, 100.0, 300.0)
+
+
+def test_fig09_satellite_count(benchmark, once):
+    data = once(benchmark, figure09_figure10_sweep, bandwidth_multipliers=MULTIPLIERS)
+
+    rows = [
+        [float(m), int(ss), int(wd), round(float(wd) / max(int(ss), 1), 2)]
+        for m, ss, wd in zip(
+            data["bandwidth_multiplier"], data["ss_satellites"], data["walker_satellites"]
+        )
+    ]
+    print("\nFigure 9: satellites required vs bandwidth multiplier")
+    print(format_table(["multiplier", "SS", "WD", "WD/SS"], rows))
+
+    ss = data["ss_satellites"].astype(float)
+    wd = data["walker_satellites"].astype(float)
+
+    # Paper shape: SS needs fewer satellites everywhere in the sweep, the
+    # advantage is largest at low demand, and both curves grow monotonically.
+    assert np.all(ss < wd)
+    ratios = wd / ss
+    assert ratios[0] == ratios.max()
+    assert ratios[-1] < ratios[0]
+    assert np.all(np.diff(ss) > 0)
+    assert np.all(np.diff(wd) > 0)
+
+    # Stash the sweep for the Figure 10 benchmark (same designs).
+    test_fig09_satellite_count.sweep_data = data

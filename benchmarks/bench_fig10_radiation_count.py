@@ -1,0 +1,48 @@
+"""Figure 10: median per-satellite radiation of the designed constellations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure09_figure10_sweep
+from repro.analysis.report import format_table
+
+MULTIPLIERS = (3.0, 10.0, 30.0, 100.0)
+
+
+def test_fig10_median_radiation(benchmark, once):
+    data = once(benchmark, figure09_figure10_sweep, bandwidth_multipliers=MULTIPLIERS)
+
+    rows = [
+        [
+            float(m),
+            float(sse),
+            float(wde),
+            float(ssp),
+            float(wdp),
+        ]
+        for m, sse, wde, ssp, wdp in zip(
+            data["bandwidth_multiplier"],
+            data["ss_median_electron"],
+            data["walker_median_electron"],
+            data["ss_median_proton"],
+            data["walker_median_proton"],
+        )
+    ]
+    print("\nFigure 10: median per-satellite daily fluence")
+    print(format_table(["multiplier", "SS e-", "WD e-", "SS p+", "WD p+"], rows))
+
+    ss_e = data["ss_median_electron"]
+    wd_e = data["walker_median_electron"]
+    ss_p = data["ss_median_proton"]
+    wd_p = data["walker_median_proton"]
+
+    # Paper shape: the SS median is flat (all planes share one inclination)
+    # and sits below the Walker median for both species at every multiplier.
+    assert np.allclose(ss_e, ss_e[0], rtol=1e-2)
+    assert np.allclose(ss_p, ss_p[0], rtol=1e-2)
+    assert np.all(ss_e < wd_e)
+    assert np.all(ss_p < wd_p)
+    # Magnitudes match the paper's axes (electrons ~7-9e9, protons ~1e7).
+    assert 5e9 < ss_e[0] < 1e10
+    assert 5e6 < ss_p[0] < 5e7

@@ -1,0 +1,79 @@
+"""Bandwidth-demand sweep: regenerate the shape of Figures 9 and 10.
+
+Run with:  python examples/demand_sweep.py [--full]
+
+Sweeps the bandwidth multiplier, designs both constellations at every point
+and prints the satellite-count and median-radiation series, i.e. the data
+behind the paper's evaluation figures.  The default settings use coarse grids
+so the sweep completes in well under a minute; ``--full`` switches to the
+resolutions used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import format_table
+from repro.core.comparison import run_comparison_sweep
+from repro.core.designer import ConstellationDesigner
+from repro.core.metrics import MetricsCalculator
+from repro.demand.population import synthetic_population_grid
+from repro.demand.spatiotemporal import SpatiotemporalDemandModel
+from repro.radiation.exposure import ExposureCalculator
+
+
+def build_designer(full: bool) -> ConstellationDesigner:
+    """Return a designer at coarse (default) or full benchmark resolution."""
+    population_resolution = 1.0 if full else 2.0
+    demand_model = SpatiotemporalDemandModel(
+        population=synthetic_population_grid(resolution_deg=population_resolution)
+    )
+    return ConstellationDesigner(
+        demand_model=demand_model,
+        lat_resolution_deg=2.0 if full else 4.0,
+        time_resolution_hours=1.0 if full else 2.0,
+        metrics_calculator=MetricsCalculator(
+            exposure=ExposureCalculator(step_s=60.0 if full else 180.0)
+        ),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use full-resolution grids")
+    args = parser.parse_args()
+
+    multipliers = (3.0, 10.0, 30.0, 100.0, 300.0) if args.full else (3.0, 10.0, 30.0, 100.0)
+    designer = build_designer(args.full)
+    sweep = run_comparison_sweep(multipliers, designer)
+
+    rows = []
+    for point in sweep.points:
+        rows.append(
+            [
+                point.bandwidth_multiplier,
+                point.ss_satellites,
+                point.walker_satellites,
+                round(point.satellite_reduction_factor, 2),
+                f"{point.ss_median_electron:.2e}",
+                f"{point.walker_median_electron:.2e}",
+                round(point.electron_reduction_percent, 1),
+            ]
+        )
+    print("Figure 9 / Figure 10 series (SS-plane vs Walker-delta):")
+    print(
+        format_table(
+            ["multiplier", "SS sats", "WD sats", "WD/SS", "SS e-", "WD e-", "e- saving %"],
+            rows,
+        )
+    )
+
+    claims = sweep.headline_claims()
+    print("\nHeadline numbers over this sweep:")
+    print(f"  max satellite reduction factor: {claims.max_satellite_reduction_factor:.2f}x")
+    print(f"  max electron fluence reduction: {claims.max_electron_reduction_percent:.1f} %")
+    print(f"  max proton fluence reduction:   {claims.max_proton_reduction_percent:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: design a small SS-plane constellation and compare it to Walker.
+
+Run with:  python examples/quickstart.py
+
+This walks through the library's core loop in a couple of minutes:
+
+1. build the spatiotemporal demand model (synthetic population x diurnal cycle),
+2. design an SS-plane constellation with the greedy covering algorithm,
+3. design the demand-driven Walker-delta baseline for the same demand,
+4. compare satellite counts and median radiation exposure.
+"""
+
+from __future__ import annotations
+
+from repro.core.designer import ConstellationDesigner
+from repro.core.metrics import MetricsCalculator
+from repro.demand.population import synthetic_population_grid
+from repro.demand.spatiotemporal import SpatiotemporalDemandModel
+from repro.radiation.exposure import ExposureCalculator
+
+
+def main() -> None:
+    # Coarse resolutions keep the quickstart fast; drop them for full fidelity.
+    demand_model = SpatiotemporalDemandModel(
+        population=synthetic_population_grid(resolution_deg=2.0)
+    )
+    designer = ConstellationDesigner(
+        demand_model=demand_model,
+        altitude_km=560.0,
+        min_elevation_deg=25.0,
+        lat_resolution_deg=4.0,
+        time_resolution_hours=2.0,
+        metrics_calculator=MetricsCalculator(exposure=ExposureCalculator(step_s=120.0)),
+    )
+
+    bandwidth_multiplier = 10.0
+    print(f"Designing constellations for bandwidth multiplier {bandwidth_multiplier:g} ...")
+    ss, walker = designer.design_both(bandwidth_multiplier)
+
+    print("\n--- SS-plane design (this paper) ---")
+    print(f"planes:              {ss.metrics.plane_count}")
+    print(f"satellites:          {ss.total_satellites}")
+    print(f"demand satisfied:    {ss.metrics.satisfied}")
+    print(f"median e- fluence:   {ss.metrics.median_electron_fluence:.3e} /cm^2/MeV/day")
+    print(f"median p+ fluence:   {ss.metrics.median_proton_fluence:.3e} /cm^2/MeV/day")
+    ltans = sorted(plane.ltan_hours for plane in ss.result.planes)
+    print(f"plane LTANs (hours): {[round(l, 1) for l in ltans[:12]]}{' ...' if len(ltans) > 12 else ''}")
+
+    print("\n--- Walker-delta baseline ---")
+    print(f"shells:              {walker.metrics.plane_count}")
+    print(f"satellites:          {walker.total_satellites}")
+    print(f"demand satisfied:    {walker.metrics.satisfied}")
+    print(f"median e- fluence:   {walker.metrics.median_electron_fluence:.3e} /cm^2/MeV/day")
+    print(f"median p+ fluence:   {walker.metrics.median_proton_fluence:.3e} /cm^2/MeV/day")
+
+    ratio = walker.total_satellites / max(ss.total_satellites, 1)
+    electron_saving = 100.0 * (
+        1.0 - ss.metrics.median_electron_fluence / walker.metrics.median_electron_fluence
+    )
+    print("\n--- Comparison ---")
+    print(f"satellite reduction factor (WD / SS): {ratio:.2f}x")
+    print(f"median electron-fluence reduction:    {electron_saving:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

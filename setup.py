@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The build environment used for this reproduction has no network access and an
+older setuptools without PEP 660 editable-install support, so a classic
+``setup.py`` is provided alongside ``pyproject.toml`` to keep
+``pip install -e .`` working offline.
+"""
+
+from setuptools import setup
+
+setup()

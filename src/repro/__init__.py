@@ -1,0 +1,38 @@
+"""repro: reproduction of "Sustainability or Survivability? Eliminating the
+Need to Choose in LEO Satellite Constellations" (HotNets 2025).
+
+The package is organised as a small stack:
+
+* :mod:`repro.orbits` -- orbital mechanics substrate (elements, J2, SS/RGT
+  orbit design, propagation, frames, ground tracks).
+* :mod:`repro.coverage` -- footprints, visibility, grids, Walker-delta and
+  repeat-ground-track coverage analysis.
+* :mod:`repro.demand` -- spatiotemporal Internet bandwidth demand model
+  (population density x diurnal profile).
+* :mod:`repro.radiation` -- near-Earth radiation environment (Van Allen
+  belts, South Atlantic Anomaly) and orbit exposure accumulation.
+* :mod:`repro.core` -- the paper's contribution: SS-plane constellation
+  design via greedy covering of the (latitude, local-time) demand grid, plus
+  the Walker-delta and RGT baselines it is compared against.
+* :mod:`repro.network` -- inter-satellite-link topologies, routing and a
+  time-stepped network simulator for the Section 5 implications.
+* :mod:`repro.analysis` -- experiment harness regenerating every figure.
+"""
+
+from . import constants
+from .coverage import Footprint, LatLocalTimeGrid, LatLonGrid, WalkerDelta
+from .orbits import Epoch, OrbitalElements, SunSynchronousOrbit
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "Epoch",
+    "OrbitalElements",
+    "SunSynchronousOrbit",
+    "Footprint",
+    "LatLocalTimeGrid",
+    "LatLonGrid",
+    "WalkerDelta",
+    "__version__",
+]

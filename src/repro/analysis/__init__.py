@@ -1,0 +1,14 @@
+"""Experiment harness: per-figure data generation, formatting and a CLI runner."""
+
+from .experiments import EXPERIMENTS, Experiment, run_experiment
+from .report import format_grid_summary, format_series, format_table, scientific
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "format_grid_summary",
+    "format_series",
+    "format_table",
+    "scientific",
+]

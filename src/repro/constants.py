@@ -1,0 +1,104 @@
+"""Physical and astronomical constants used throughout the library.
+
+All distances are kilometres, all times are seconds, and all angles are
+radians unless a name or docstring explicitly says otherwise.  The values
+follow WGS-84 and the usual astrodynamics references (Vallado, *Fundamentals
+of Astrodynamics and Applications*).
+"""
+
+from __future__ import annotations
+
+import math
+
+# --------------------------------------------------------------------------
+# Earth shape and gravity (WGS-84 / EGM96)
+# --------------------------------------------------------------------------
+
+#: Earth equatorial radius [km].
+EARTH_RADIUS_KM = 6378.137
+
+#: Earth mean radius [km] (volumetric mean, used for surface-area estimates).
+EARTH_MEAN_RADIUS_KM = 6371.0088
+
+#: Earth polar radius [km].
+EARTH_POLAR_RADIUS_KM = 6356.7523
+
+#: WGS-84 flattening factor of the Earth ellipsoid (dimensionless).
+EARTH_FLATTENING = 1.0 / 298.257223563
+
+#: Earth gravitational parameter GM [km^3 / s^2].
+MU_EARTH = 398600.4418
+
+#: Second zonal harmonic of the Earth gravity field (dimensionless).
+J2_EARTH = 1.08262668e-3
+
+#: Standard gravitational acceleration at the surface [km / s^2].
+G0_KM_S2 = 9.80665e-3
+
+# --------------------------------------------------------------------------
+# Earth rotation and time
+# --------------------------------------------------------------------------
+
+#: Mean solar day [s].
+SOLAR_DAY_S = 86400.0
+
+#: Sidereal day (Earth rotation period w.r.t. the stars) [s].
+SIDEREAL_DAY_S = 86164.0905
+
+#: Earth inertial rotation rate [rad / s].
+EARTH_ROTATION_RATE = 2.0 * math.pi / SIDEREAL_DAY_S
+
+#: Length of the tropical year [days].
+TROPICAL_YEAR_DAYS = 365.2421897
+
+#: Mean motion of the Earth around the Sun, i.e. the nodal precession rate a
+#: sun-synchronous orbit must match [rad / s].
+SUN_SYNC_PRECESSION_RATE = 2.0 * math.pi / (TROPICAL_YEAR_DAYS * SOLAR_DAY_S)
+
+#: Julian date of the J2000.0 epoch (2000-01-01 12:00:00 TT).
+JD_J2000 = 2451545.0
+
+#: Number of days per Julian century.
+DAYS_PER_JULIAN_CENTURY = 36525.0
+
+# --------------------------------------------------------------------------
+# Sun
+# --------------------------------------------------------------------------
+
+#: Astronomical unit [km].
+AU_KM = 149597870.7
+
+#: Mean obliquity of the ecliptic at J2000 [rad].
+OBLIQUITY_J2000 = math.radians(23.43929111)
+
+# --------------------------------------------------------------------------
+# Unit helpers
+# --------------------------------------------------------------------------
+
+#: Degrees per radian.
+DEG_PER_RAD = 180.0 / math.pi
+
+#: Radians per degree.
+RAD_PER_DEG = math.pi / 180.0
+
+#: Seconds per hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Hours per day.
+HOURS_PER_DAY = 24.0
+
+
+def orbital_radius_km(altitude_km: float) -> float:
+    """Return the geocentric orbital radius for a circular orbit altitude.
+
+    Parameters
+    ----------
+    altitude_km:
+        Height of the orbit above the Earth equatorial radius, in km.
+    """
+    return EARTH_RADIUS_KM + float(altitude_km)
+
+
+def altitude_km(orbital_radius: float) -> float:
+    """Return the altitude above the equatorial radius for a geocentric radius."""
+    return float(orbital_radius) - EARTH_RADIUS_KM

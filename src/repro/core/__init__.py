@@ -1,0 +1,46 @@
+"""The paper's core contribution: SS-plane constellation design.
+
+The SS-plane primitive (sun-synchronous orbital planes pinned to the
+latitude x local-time-of-day demand chart), the greedy covering algorithm of
+Section 4.2, the demand-driven Walker-delta and repeat-ground-track baselines
+it is compared against, and the metrics/comparison machinery that regenerates
+the evaluation figures.
+"""
+
+from .comparison import (
+    ComparisonPoint,
+    ComparisonSweep,
+    HeadlineClaims,
+    run_comparison_sweep,
+)
+from .designer import ConstellationDesigner, DesignOutcome
+from .greedy_cover import GreedyCoverResult, GreedySSPlaneDesigner
+from .metrics import ConstellationMetrics, MetricsCalculator
+from .rgt_baseline import RGTComparisonPoint, rgt_vs_walker_sweep
+from .ssplane import SSPlane, plane_local_time_offset_hours, satellites_per_plane
+from .walker_baseline import (
+    DemandDrivenWalkerDesigner,
+    WalkerBaselineResult,
+    WalkerShell,
+)
+
+__all__ = [
+    "ComparisonPoint",
+    "ComparisonSweep",
+    "HeadlineClaims",
+    "run_comparison_sweep",
+    "ConstellationDesigner",
+    "DesignOutcome",
+    "GreedyCoverResult",
+    "GreedySSPlaneDesigner",
+    "ConstellationMetrics",
+    "MetricsCalculator",
+    "RGTComparisonPoint",
+    "rgt_vs_walker_sweep",
+    "SSPlane",
+    "plane_local_time_offset_hours",
+    "satellites_per_plane",
+    "DemandDrivenWalkerDesigner",
+    "WalkerBaselineResult",
+    "WalkerShell",
+]

@@ -1,0 +1,137 @@
+"""Constellation metrics: size, radiation exposure, coverage accounting.
+
+These are the quantities the paper's evaluation section reports: total
+satellite counts (Figure 9), the median per-satellite daily radiation fluence
+(Figure 10), and the headline ratios derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..orbits.elements import OrbitalElements
+from ..radiation.exposure import DailyFluence, ExposureCalculator
+from .greedy_cover import GreedyCoverResult
+from .walker_baseline import WalkerBaselineResult
+
+__all__ = ["ConstellationMetrics", "MetricsCalculator"]
+
+
+@dataclass(frozen=True)
+class ConstellationMetrics:
+    """Summary metrics of one designed constellation.
+
+    Attributes
+    ----------
+    design:
+        Human-readable label of the design method ("ss-plane", "walker", ...).
+    total_satellites:
+        Total number of satellites.
+    plane_count:
+        Number of orbital planes (SS design) or shells (Walker design).
+    median_fluence:
+        Median per-satellite daily radiation fluence.
+    mean_fluence:
+        Mean per-satellite daily radiation fluence.
+    satisfied:
+        Whether the design fully covered its demand grid.
+    """
+
+    design: str
+    total_satellites: int
+    plane_count: int
+    median_fluence: DailyFluence
+    mean_fluence: DailyFluence
+    satisfied: bool
+
+    @property
+    def median_electron_fluence(self) -> float:
+        """Median per-satellite electron fluence [#/cm^2/MeV/day]."""
+        return self.median_fluence.electron
+
+    @property
+    def median_proton_fluence(self) -> float:
+        """Median per-satellite proton fluence [#/cm^2/MeV/day]."""
+        return self.median_fluence.proton
+
+
+@dataclass
+class MetricsCalculator:
+    """Computes :class:`ConstellationMetrics` for SS-plane and Walker designs.
+
+    Radiation fluence only depends on a satellite's altitude, inclination and
+    (weakly, through SAA sampling) RAAN; the underlying
+    :class:`~repro.radiation.exposure.ExposureCalculator` caches accordingly,
+    so evaluating constellations with tens of thousands of satellites stays
+    cheap.
+    """
+
+    exposure: ExposureCalculator = field(default_factory=ExposureCalculator)
+
+    # -- generic helpers ---------------------------------------------------------
+
+    def _fluence_stats(
+        self, satellites: list[OrbitalElements]
+    ) -> tuple[DailyFluence, DailyFluence]:
+        fluences = self.exposure.constellation_fluences(satellites)
+        electrons = np.array([f.electron for f in fluences])
+        protons = np.array([f.proton for f in fluences])
+        median = DailyFluence(float(np.median(electrons)), float(np.median(protons)))
+        mean = DailyFluence(float(np.mean(electrons)), float(np.mean(protons)))
+        return median, mean
+
+    @staticmethod
+    def _representative_satellites(
+        groups: list[tuple[OrbitalElements, int]]
+    ) -> list[OrbitalElements]:
+        """Expand (representative element, count) groups into a satellite list.
+
+        Satellites within one plane or shell share their daily fluence, so one
+        representative per group repeated ``count`` times gives the same
+        median/mean statistics as enumerating every satellite individually.
+        """
+        satellites: list[OrbitalElements] = []
+        for elements, count in groups:
+            satellites.extend([elements] * count)
+        return satellites
+
+    # -- per-design entry points --------------------------------------------------
+
+    def for_ssplane(self, result: GreedyCoverResult) -> ConstellationMetrics:
+        """Return metrics of a greedy SS-plane design."""
+        groups = [
+            (plane.satellite_elements()[0], plane.satellite_count)
+            for plane in result.planes
+        ]
+        satellites = self._representative_satellites(groups)
+        median, mean = self._fluence_stats(satellites)
+        return ConstellationMetrics(
+            design="ss-plane",
+            total_satellites=result.total_satellites,
+            plane_count=result.plane_count,
+            median_fluence=median,
+            mean_fluence=mean,
+            satisfied=result.satisfied,
+        )
+
+    def for_walker(self, result: WalkerBaselineResult) -> ConstellationMetrics:
+        """Return metrics of a demand-driven Walker baseline design."""
+        groups = []
+        for shell in result.shells:
+            representative = OrbitalElements.circular(
+                altitude_km=shell.altitude_km,
+                inclination_deg=shell.inclination_deg,
+            )
+            groups.append((representative, shell.satellite_count))
+        satellites = self._representative_satellites(groups)
+        median, mean = self._fluence_stats(satellites)
+        return ConstellationMetrics(
+            design="walker",
+            total_satellites=result.total_satellites,
+            plane_count=result.shell_count,
+            median_fluence=median,
+            mean_fluence=mean,
+            satisfied=result.satisfied,
+        )

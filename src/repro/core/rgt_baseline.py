@@ -1,0 +1,83 @@
+"""Repeat-ground-track baseline (Section 2.2 / Figure 1).
+
+Wraps the coverage-layer RGT analysis into the same "design result" shape the
+other baselines use, and produces the altitude sweep behind Figure 1:
+satellites required to cover a single RGT versus the minimum uniform-coverage
+Walker-delta at the same altitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..coverage.rgt_coverage import (
+    provides_uniform_coverage,
+    satellites_to_cover_track,
+)
+from ..coverage.walker import minimum_walker_for_coverage
+from ..orbits.repeat_ground_track import (
+    RepeatGroundTrack,
+    enumerate_leo_repeat_ground_tracks,
+)
+
+__all__ = ["RGTComparisonPoint", "rgt_vs_walker_sweep"]
+
+
+@dataclass(frozen=True)
+class RGTComparisonPoint:
+    """One altitude point of the Figure 1 comparison."""
+
+    track: RepeatGroundTrack
+    rgt_satellites: int
+    walker_satellites: int
+    uniform_coverage: bool
+
+    @property
+    def altitude_km(self) -> float:
+        """Altitude of the repeat ground track."""
+        return self.track.altitude_km
+
+    @property
+    def rgt_worse(self) -> bool:
+        """Whether covering the single RGT needs more satellites than Walker."""
+        return self.rgt_satellites > self.walker_satellites
+
+
+def rgt_vs_walker_sweep(
+    inclination_deg: float = 65.0,
+    min_altitude_km: float = 450.0,
+    max_altitude_km: float = 2000.0,
+    min_elevation_deg: float = 25.0,
+    walker_grid_step_deg: float = 6.0,
+    walker_time_samples: int = 6,
+) -> list[RGTComparisonPoint]:
+    """Return the Figure 1 sweep over all one-day LEO repeat ground tracks.
+
+    For each RGT between the altitude bounds the sweep reports the satellites
+    needed to serve the track's region (streets-of-coverage sizing of the RGT
+    train), the minimum uniform-coverage Walker-delta at the same altitude,
+    and whether the track's own coverage already degenerates to (near-)uniform
+    global coverage.
+    """
+    tracks = enumerate_leo_repeat_ground_tracks(
+        inclination_deg, min_altitude_km, max_altitude_km
+    )
+    points = []
+    for track in tracks:
+        rgt_count = satellites_to_cover_track(track, min_elevation_deg)
+        walker = minimum_walker_for_coverage(
+            altitude_km=track.altitude_km,
+            inclination_deg=inclination_deg,
+            min_elevation_deg=min_elevation_deg,
+            grid_step_deg=walker_grid_step_deg,
+            time_samples=walker_time_samples,
+        )
+        points.append(
+            RGTComparisonPoint(
+                track=track,
+                rgt_satellites=rgt_count,
+                walker_satellites=walker.total_satellites,
+                uniform_coverage=provides_uniform_coverage(track, min_elevation_deg),
+            )
+        )
+    return points

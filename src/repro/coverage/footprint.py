@@ -1,0 +1,120 @@
+"""Spot-beam / coverage footprint geometry.
+
+A satellite at altitude ``h`` whose users require a minimum elevation angle
+``epsilon`` covers a spherical cap of the Earth's surface.  The half-width of
+that cap, measured as a central (Earth-centred) angle, is the single quantity
+that drives every satellite-count result in the paper:
+
+    lambda = arccos( Re * cos(epsilon) / (Re + h) ) - epsilon
+
+Everything else (streets-of-coverage sizing of Walker constellations, the
+number of satellites needed to blanket a repeat ground track, the number of
+satellites per SS-plane) is derived from ``lambda``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import EARTH_RADIUS_KM
+
+__all__ = [
+    "coverage_half_angle_rad",
+    "slant_range_km",
+    "footprint_area_km2",
+    "nadir_angle_rad",
+    "Footprint",
+]
+
+
+def coverage_half_angle_rad(altitude_km: float, min_elevation_deg: float) -> float:
+    """Return the Earth-central half-angle [rad] of a satellite's footprint.
+
+    Parameters
+    ----------
+    altitude_km:
+        Satellite altitude above the Earth's equatorial radius.
+    min_elevation_deg:
+        Minimum elevation angle at which a ground user can communicate with
+        the satellite (25 degrees is typical for LEO broadband systems).
+    """
+    if altitude_km <= 0:
+        raise ValueError(f"altitude must be positive, got {altitude_km}")
+    if not 0.0 <= min_elevation_deg < 90.0:
+        raise ValueError("minimum elevation must be in [0, 90) degrees")
+    epsilon = math.radians(min_elevation_deg)
+    ratio = EARTH_RADIUS_KM * math.cos(epsilon) / (EARTH_RADIUS_KM + altitude_km)
+    return math.acos(ratio) - epsilon
+
+
+def nadir_angle_rad(altitude_km: float, min_elevation_deg: float) -> float:
+    """Return the nadir (half-cone) angle [rad] seen from the satellite.
+
+    This is the angle at the satellite between the nadir direction and the
+    edge of coverage; useful for antenna / beam design sanity checks.
+    """
+    epsilon = math.radians(min_elevation_deg)
+    lam = coverage_half_angle_rad(altitude_km, min_elevation_deg)
+    return math.pi / 2.0 - epsilon - lam
+
+
+def slant_range_km(altitude_km: float, min_elevation_deg: float) -> float:
+    """Return the slant range [km] from a user at minimum elevation to the satellite."""
+    epsilon = math.radians(min_elevation_deg)
+    lam = coverage_half_angle_rad(altitude_km, min_elevation_deg)
+    r_sat = EARTH_RADIUS_KM + altitude_km
+    # Law of cosines in the Earth-centre / user / satellite triangle.
+    return math.sqrt(
+        EARTH_RADIUS_KM**2
+        + r_sat**2
+        - 2.0 * EARTH_RADIUS_KM * r_sat * math.cos(lam)
+    )
+
+
+def footprint_area_km2(altitude_km: float, min_elevation_deg: float) -> float:
+    """Return the surface area [km^2] of the coverage cap."""
+    lam = coverage_half_angle_rad(altitude_km, min_elevation_deg)
+    return 2.0 * math.pi * EARTH_RADIUS_KM**2 * (1.0 - math.cos(lam))
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The coverage footprint of one satellite configuration.
+
+    Bundles the altitude / minimum-elevation pair with the derived geometric
+    quantities so they can be passed around the coverage and design code as a
+    single value object.
+    """
+
+    altitude_km: float
+    min_elevation_deg: float
+
+    @property
+    def half_angle_rad(self) -> float:
+        """Earth-central half-angle of the footprint [rad]."""
+        return coverage_half_angle_rad(self.altitude_km, self.min_elevation_deg)
+
+    @property
+    def half_angle_deg(self) -> float:
+        """Earth-central half-angle of the footprint [deg]."""
+        return math.degrees(self.half_angle_rad)
+
+    @property
+    def half_width_km(self) -> float:
+        """Footprint radius measured along the surface [km]."""
+        return EARTH_RADIUS_KM * self.half_angle_rad
+
+    @property
+    def area_km2(self) -> float:
+        """Footprint area [km^2]."""
+        return footprint_area_km2(self.altitude_km, self.min_elevation_deg)
+
+    @property
+    def slant_range_km(self) -> float:
+        """Slant range to the edge of coverage [km]."""
+        return slant_range_km(self.altitude_km, self.min_elevation_deg)
+
+    def covers(self, central_angle_rad: float) -> bool:
+        """Return whether a point at the given central angle from nadir is covered."""
+        return central_angle_rad <= self.half_angle_rad

@@ -1,0 +1,134 @@
+"""Satellite-to-ground visibility.
+
+Provides elevation-angle computation between an Earth-fixed ground point and a
+satellite ECI position, plus visibility-window extraction over a time span.
+These are the primitives the network layer uses to decide which satellites a
+ground station or user terminal can currently reach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..orbits.elements import OrbitalElements
+from ..orbits.frames import ecef_to_eci, geodetic_to_ecef
+from ..orbits.propagation import J2Propagator
+from ..orbits.time import Epoch
+
+__all__ = [
+    "elevation_angle_rad",
+    "slant_range_to_km",
+    "is_visible",
+    "VisibilityWindow",
+    "visibility_windows",
+]
+
+
+def _site_vectors(
+    latitude_rad: float, longitude_rad: float, epoch: Epoch
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (site ECI position, local zenith unit vector in ECI)."""
+    site_ecef = geodetic_to_ecef(latitude_rad, longitude_rad, 0.0)
+    site_eci = ecef_to_eci(site_ecef, epoch)
+    zenith = site_eci / np.linalg.norm(site_eci)
+    return site_eci, zenith
+
+
+def elevation_angle_rad(
+    satellite_position_eci: np.ndarray,
+    latitude_rad: float,
+    longitude_rad: float,
+    epoch: Epoch,
+) -> float:
+    """Return the elevation angle [rad] of a satellite above a site's horizon.
+
+    Negative values mean the satellite is below the horizon.
+    """
+    site_eci, zenith = _site_vectors(latitude_rad, longitude_rad, epoch)
+    line_of_sight = np.asarray(satellite_position_eci) - site_eci
+    los_norm = np.linalg.norm(line_of_sight)
+    if los_norm == 0.0:
+        raise ValueError("satellite position coincides with the ground site")
+    sin_elevation = float(np.dot(line_of_sight, zenith) / los_norm)
+    return math.asin(max(-1.0, min(1.0, sin_elevation)))
+
+
+def slant_range_to_km(
+    satellite_position_eci: np.ndarray,
+    latitude_rad: float,
+    longitude_rad: float,
+    epoch: Epoch,
+) -> float:
+    """Return the slant range [km] between a site and a satellite."""
+    site_eci, _ = _site_vectors(latitude_rad, longitude_rad, epoch)
+    return float(np.linalg.norm(np.asarray(satellite_position_eci) - site_eci))
+
+
+def is_visible(
+    satellite_position_eci: np.ndarray,
+    latitude_rad: float,
+    longitude_rad: float,
+    epoch: Epoch,
+    min_elevation_deg: float = 25.0,
+) -> bool:
+    """Return whether a satellite is visible above ``min_elevation_deg``."""
+    elevation = elevation_angle_rad(satellite_position_eci, latitude_rad, longitude_rad, epoch)
+    return elevation >= math.radians(min_elevation_deg)
+
+
+@dataclass(frozen=True)
+class VisibilityWindow:
+    """A contiguous interval during which a satellite is visible from a site."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Window duration in seconds."""
+        return self.end_s - self.start_s
+
+
+def visibility_windows(
+    elements: OrbitalElements,
+    epoch: Epoch,
+    latitude_deg: float,
+    longitude_deg: float,
+    duration_s: float,
+    step_s: float = 30.0,
+    min_elevation_deg: float = 25.0,
+) -> list[VisibilityWindow]:
+    """Return the visibility windows of one satellite from one ground site.
+
+    The satellite is propagated with the secular-J2 propagator and sampled
+    every ``step_s`` seconds over ``duration_s``; consecutive visible samples
+    are merged into windows.  Window edges are therefore quantised to the
+    sampling step, which is fine for the pass-statistics purposes of the
+    network layer.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    latitude_rad = math.radians(latitude_deg)
+    longitude_rad = math.radians(longitude_deg)
+    propagator = J2Propagator(elements, epoch)
+
+    windows: list[VisibilityWindow] = []
+    window_start: float | None = None
+    times = np.arange(0.0, duration_s + step_s / 2.0, step_s)
+    for t in times:
+        current_epoch = epoch.add_seconds(float(t))
+        state = propagator.state_at(current_epoch)
+        visible = is_visible(
+            state.position_km, latitude_rad, longitude_rad, current_epoch, min_elevation_deg
+        )
+        if visible and window_start is None:
+            window_start = float(t)
+        elif not visible and window_start is not None:
+            windows.append(VisibilityWindow(start_s=window_start, end_s=float(t)))
+            window_start = None
+    if window_start is not None:
+        windows.append(VisibilityWindow(start_s=window_start, end_s=float(times[-1])))
+    return windows

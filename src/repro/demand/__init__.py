@@ -1,0 +1,30 @@
+"""Spatiotemporal Internet bandwidth demand substrate.
+
+Synthetic substitutes for the two datasets the paper builds its demand model
+from -- the SEDAC gridded world population (spatial structure) and the
+CESNET-TimeSeries24 traffic measurements (temporal structure) -- plus their
+combination into Earth-fixed snapshots and the sun-fixed
+(latitude, local-time-of-day) demand grid, and a gravity traffic-matrix
+generator for the network layer.
+"""
+
+from .diurnal import DiurnalProfile, SyntheticTrafficDataset, time_of_day_percentiles
+from .population import METRO_AREAS, MetroArea, PopulationModel, synthetic_population_grid
+from .spatiotemporal import SpatiotemporalDemandModel, build_demand_grid, demand_snapshot
+from .traffic_matrix import City, GravityTrafficModel, TrafficMatrix
+
+__all__ = [
+    "DiurnalProfile",
+    "SyntheticTrafficDataset",
+    "time_of_day_percentiles",
+    "METRO_AREAS",
+    "MetroArea",
+    "PopulationModel",
+    "synthetic_population_grid",
+    "SpatiotemporalDemandModel",
+    "build_demand_grid",
+    "demand_snapshot",
+    "City",
+    "GravityTrafficModel",
+    "TrafficMatrix",
+]

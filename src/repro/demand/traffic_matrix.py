@@ -1,0 +1,143 @@
+"""Endpoint traffic matrices for the network layer.
+
+The constellation-design experiments of the paper only need the aggregate
+(latitude, local-time) demand grid, but exploring the Section 5 implications
+(routing, topology, traffic engineering over SS-plane constellations)
+requires end-to-end flows between ground locations.  This module generates
+such flows with a classic gravity model driven by the same synthetic
+population grid, modulated in time by the same diurnal profile, so that the
+network-layer workloads are consistent with the design-layer demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..coverage.grid import LatLonGrid
+from .diurnal import DiurnalProfile
+from .population import METRO_AREAS, MetroArea
+
+__all__ = ["City", "TrafficMatrix", "GravityTrafficModel"]
+
+
+@dataclass(frozen=True)
+class City:
+    """A traffic endpoint: a city with a population-derived weight."""
+
+    name: str
+    latitude_deg: float
+    longitude_deg: float
+    weight: float
+
+    @classmethod
+    def from_metro(cls, metro: MetroArea) -> "City":
+        """Build an endpoint from a metro-catalogue entry."""
+        return cls(
+            name=metro.name,
+            latitude_deg=metro.latitude_deg,
+            longitude_deg=metro.longitude_deg,
+            weight=metro.population_millions,
+        )
+
+
+@dataclass
+class TrafficMatrix:
+    """A set of directed demands between cities at one instant.
+
+    Attributes
+    ----------
+    cities:
+        Endpoint list; row/column ``i`` of ``demands`` refers to
+        ``cities[i]``.
+    demands:
+        Matrix of shape (n, n) in arbitrary bandwidth units (consistent with
+        the satellite-capacity units used elsewhere when built through
+        :class:`GravityTrafficModel`).
+    """
+
+    cities: tuple[City, ...]
+    demands: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.cities)
+        self.demands = np.asarray(self.demands, dtype=float)
+        if self.demands.shape != (n, n):
+            raise ValueError("demands must be a square matrix matching cities")
+        if np.any(self.demands < 0):
+            raise ValueError("demands must be non-negative")
+
+    def total_demand(self) -> float:
+        """Return the sum of all entries."""
+        return float(self.demands.sum())
+
+    def top_flows(self, count: int = 10) -> list[tuple[str, str, float]]:
+        """Return the ``count`` largest (source, destination, demand) flows."""
+        flat = [
+            (self.cities[i].name, self.cities[j].name, float(self.demands[i, j]))
+            for i in range(len(self.cities))
+            for j in range(len(self.cities))
+            if i != j
+        ]
+        flat.sort(key=lambda item: item[2], reverse=True)
+        return flat[:count]
+
+
+@dataclass
+class GravityTrafficModel:
+    """Gravity-model traffic generator modulated by the diurnal cycle.
+
+    Demand between cities ``i`` and ``j`` at UTC hour ``t`` is
+
+        w_i(t) * w_j(t) / sum_k w_k(t)
+
+    where ``w_i(t)`` is city ``i``'s population weight scaled by the diurnal
+    fraction at ``i``'s local time.  The result is normalised so the total
+    instantaneous demand equals ``total_demand`` (in satellite-capacity
+    units), which lets network experiments sweep load the same way the design
+    experiments sweep the bandwidth multiplier.
+    """
+
+    cities: tuple[City, ...] = field(
+        default_factory=lambda: tuple(
+            City.from_metro(m) for m in METRO_AREAS if m.population_millions >= 3.0
+        )
+    )
+    profile: DiurnalProfile = field(default_factory=DiurnalProfile)
+    total_demand: float = 100.0
+
+    def weights_at(self, utc_hour: float) -> np.ndarray:
+        """Return the diurnally modulated weight of each city at a UTC hour."""
+        weights = np.empty(len(self.cities))
+        for index, city in enumerate(self.cities):
+            local_time = (utc_hour + city.longitude_deg / 15.0) % 24.0
+            weights[index] = city.weight * float(
+                self.profile.fraction_of_median(local_time)
+            )
+        return weights
+
+    def matrix_at(self, utc_hour: float) -> TrafficMatrix:
+        """Return the gravity traffic matrix at a UTC hour."""
+        weights = self.weights_at(utc_hour)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            raise ValueError("total city weight must be positive")
+        demands = np.outer(weights, weights) / total_weight
+        np.fill_diagonal(demands, 0.0)
+        demands *= self.total_demand / demands.sum()
+        return TrafficMatrix(cities=self.cities, demands=demands)
+
+    def offered_load_by_latitude(self, utc_hour: float, grid: LatLonGrid) -> LatLonGrid:
+        """Return per-cell offered load (sum of a city's outgoing demand).
+
+        Useful for sanity-checking that network-layer load matches the
+        design-layer demand snapshots.
+        """
+        matrix = self.matrix_at(utc_hour)
+        result = grid.copy()
+        result.values = np.zeros_like(grid.values)
+        outgoing = matrix.demands.sum(axis=1)
+        for city, load in zip(matrix.cities, outgoing):
+            result.add_at(city.latitude_deg, city.longitude_deg, float(load))
+        return result

@@ -1,0 +1,40 @@
+"""Satellite network layer (the Section 5 implications substrate).
+
+Inter-satellite link modelling, +Grid topologies for Walker and SS-plane
+constellations, ground stations, snapshot and time-aware routing, capacity
+allocation, demand-aware scheduling, and a time-stepped flow simulator driven
+by the gravity traffic model.
+"""
+
+from .capacity import AllocationResult, Flow, allocate_max_min, allocate_proportional
+from .ground_station import GroundStation, default_ground_stations, visible_satellites
+from .isl import ISLConfig, grazing_altitude_km, isl_feasible, propagation_delay_ms
+from .routing import RouteResult, SnapshotRouter, TimeAwareRouter
+from .scheduler import PeakShiftScheduler, ScheduleResult
+from .simulation import NetworkSimulator, SimulationResult, StepStatistics
+from .topology import ConstellationTopology, SatelliteNode, build_plus_grid_topology
+
+__all__ = [
+    "AllocationResult",
+    "Flow",
+    "allocate_max_min",
+    "allocate_proportional",
+    "GroundStation",
+    "default_ground_stations",
+    "visible_satellites",
+    "ISLConfig",
+    "grazing_altitude_km",
+    "isl_feasible",
+    "propagation_delay_ms",
+    "RouteResult",
+    "SnapshotRouter",
+    "TimeAwareRouter",
+    "PeakShiftScheduler",
+    "ScheduleResult",
+    "NetworkSimulator",
+    "SimulationResult",
+    "StepStatistics",
+    "ConstellationTopology",
+    "SatelliteNode",
+    "build_plus_grid_topology",
+]

@@ -1,0 +1,143 @@
+"""Link-capacity allocation.
+
+Given a set of flows routed over a snapshot graph, allocate bandwidth subject
+to per-link capacities.  Two allocation policies are provided: proportional
+scaling (every flow gets the same fraction of its demand, set by the most
+congested link) and progressive-filling max-min fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["Flow", "AllocationResult", "allocate_proportional", "allocate_max_min"]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A routed traffic flow."""
+
+    name: str
+    path: tuple[int | str, ...]
+    demand_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.demand_gbps < 0:
+            raise ValueError("demand must be non-negative")
+        if len(self.path) < 2 and self.demand_gbps > 0:
+            raise ValueError("a flow with demand needs a path of at least two nodes")
+
+    def links(self) -> list[tuple[int | str, int | str]]:
+        """Return the (unordered) links the flow traverses."""
+        return [
+            (self.path[index], self.path[index + 1]) for index in range(len(self.path) - 1)
+        ]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a capacity allocation."""
+
+    allocated_gbps: dict[str, float]
+    link_utilisation: dict[tuple, float]
+
+    def total_allocated(self) -> float:
+        """Return the sum of allocated rates."""
+        return sum(self.allocated_gbps.values())
+
+    def worst_link_utilisation(self) -> float:
+        """Return the highest link utilisation (1.0 means saturated)."""
+        if not self.link_utilisation:
+            return 0.0
+        return max(self.link_utilisation.values())
+
+
+def _link_key(a, b) -> tuple:
+    """Return an order-independent key for an undirected link."""
+    return (a, b) if str(a) <= str(b) else (b, a)
+
+
+def _link_capacities(graph: nx.Graph, flows: list[Flow]) -> dict[tuple, float]:
+    capacities: dict[tuple, float] = {}
+    for flow in flows:
+        for a, b in flow.links():
+            if not graph.has_edge(a, b):
+                raise ValueError(f"flow {flow.name!r} uses a link not present in the graph")
+            capacities[_link_key(a, b)] = float(graph.edges[a, b]["capacity_gbps"])
+    return capacities
+
+
+def allocate_proportional(graph: nx.Graph, flows: list[Flow]) -> AllocationResult:
+    """Scale every flow by the same factor so no link exceeds its capacity."""
+    capacities = _link_capacities(graph, flows)
+    loads: dict[tuple, float] = {key: 0.0 for key in capacities}
+    for flow in flows:
+        for a, b in flow.links():
+            loads[_link_key(a, b)] += flow.demand_gbps
+
+    scale = 1.0
+    for key, load in loads.items():
+        if load > capacities[key] > 0:
+            scale = min(scale, capacities[key] / load)
+
+    allocated = {flow.name: flow.demand_gbps * scale for flow in flows}
+    utilisation = {}
+    for key, load in loads.items():
+        utilisation[key] = (load * scale) / capacities[key] if capacities[key] > 0 else 0.0
+    return AllocationResult(allocated_gbps=allocated, link_utilisation=utilisation)
+
+
+def allocate_max_min(
+    graph: nx.Graph, flows: list[Flow], iterations: int = 100
+) -> AllocationResult:
+    """Max-min fair allocation by progressive filling.
+
+    Rates of all unfrozen flows grow together; whenever a link saturates, the
+    flows crossing it are frozen at their current rate.  Flows are also frozen
+    once they reach their own demand.
+    """
+    capacities = _link_capacities(graph, flows)
+    rates = {flow.name: 0.0 for flow in flows}
+    frozen = {flow.name: flow.demand_gbps == 0.0 for flow in flows}
+    flows_by_link: dict[tuple, list[Flow]] = {key: [] for key in capacities}
+    for flow in flows:
+        for a, b in flow.links():
+            flows_by_link[_link_key(a, b)].append(flow)
+
+    for _ in range(iterations):
+        active = [flow for flow in flows if not frozen[flow.name]]
+        if not active:
+            break
+        # Largest uniform increment every active flow can still take.
+        increment = float("inf")
+        for flow in active:
+            increment = min(increment, flow.demand_gbps - rates[flow.name])
+        for key, capacity in capacities.items():
+            link_active = [f for f in flows_by_link[key] if not frozen[f.name]]
+            if not link_active:
+                continue
+            headroom = capacity - sum(rates[f.name] for f in flows_by_link[key])
+            increment = min(increment, headroom / len(link_active))
+        if increment <= 1e-12:
+            increment = 0.0
+        for flow in active:
+            rates[flow.name] += increment
+        # Freeze flows that met their demand or sit on a saturated link.
+        for flow in active:
+            if rates[flow.name] >= flow.demand_gbps - 1e-9:
+                frozen[flow.name] = True
+        for key, capacity in capacities.items():
+            load = sum(rates[f.name] for f in flows_by_link[key])
+            if load >= capacity - 1e-9:
+                for f in flows_by_link[key]:
+                    frozen[f.name] = True
+        if increment == 0.0 and all(frozen.values()):
+            break
+
+    utilisation = {}
+    for key, capacity in capacities.items():
+        load = sum(rates[f.name] for f in flows_by_link[key])
+        utilisation[key] = load / capacity if capacity > 0 else 0.0
+    return AllocationResult(allocated_gbps=rates, link_utilisation=utilisation)

@@ -1,0 +1,82 @@
+"""Inter-satellite link (ISL) modelling.
+
+Link-level primitives shared by the topology and routing modules: feasibility
+of a laser ISL between two satellites (range and Earth-occlusion limits),
+propagation latency, and a simple capacity model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import EARTH_RADIUS_KM
+
+__all__ = ["ISLConfig", "isl_feasible", "propagation_delay_ms", "grazing_altitude_km"]
+
+#: Speed of light [km/s].
+SPEED_OF_LIGHT_KM_S = 299792.458
+
+
+@dataclass(frozen=True)
+class ISLConfig:
+    """Configuration of the inter-satellite link hardware.
+
+    Attributes
+    ----------
+    max_range_km:
+        Maximum optical link range.
+    min_grazing_altitude_km:
+        Minimum altitude the line of sight may graze above the Earth's
+        surface (links that would pass through the atmosphere are infeasible).
+    capacity_gbps:
+        Data-plane capacity of one link.
+    """
+
+    max_range_km: float = 5000.0
+    min_grazing_altitude_km: float = 80.0
+    capacity_gbps: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.max_range_km <= 0:
+            raise ValueError("max_range_km must be positive")
+        if self.capacity_gbps <= 0:
+            raise ValueError("capacity_gbps must be positive")
+
+
+def grazing_altitude_km(position_a_km: np.ndarray, position_b_km: np.ndarray) -> float:
+    """Return the minimum altitude [km] of the segment between two satellites.
+
+    If the closest approach of the line segment to the Earth's centre happens
+    outside the segment, the lower of the two endpoint altitudes is returned.
+    """
+    a = np.asarray(position_a_km, dtype=float)
+    b = np.asarray(position_b_km, dtype=float)
+    chord = b - a
+    chord_length_sq = float(np.dot(chord, chord))
+    if chord_length_sq == 0.0:
+        return float(np.linalg.norm(a)) - EARTH_RADIUS_KM
+    t = -float(np.dot(a, chord)) / chord_length_sq
+    t = min(1.0, max(0.0, t))
+    closest = a + t * chord
+    return float(np.linalg.norm(closest)) - EARTH_RADIUS_KM
+
+
+def isl_feasible(
+    position_a_km: np.ndarray, position_b_km: np.ndarray, config: ISLConfig | None = None
+) -> bool:
+    """Return whether an ISL between two satellite positions is feasible."""
+    config = config or ISLConfig()
+    distance = float(np.linalg.norm(np.asarray(position_a_km) - np.asarray(position_b_km)))
+    if distance > config.max_range_km:
+        return False
+    return grazing_altitude_km(position_a_km, position_b_km) >= config.min_grazing_altitude_km
+
+
+def propagation_delay_ms(distance_km: float) -> float:
+    """Return the one-way propagation delay [ms] over ``distance_km``."""
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return distance_km / SPEED_OF_LIGHT_KM_S * 1000.0

@@ -1,0 +1,143 @@
+"""Routing over constellation topologies.
+
+Two routing modes are provided, matching how the Section 5 research questions
+would be explored:
+
+* **snapshot routing** -- shortest (lowest-latency) paths on one topology
+  snapshot, the classic approach of LEO networking studies;
+* **time-aware routing** -- paths computed on a sequence of snapshots so that
+  predictable coverage gaps and handoffs of an SS-plane constellation can be
+  planned for in advance rather than reacted to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..orbits.time import Epoch
+from .ground_station import GroundStation
+from .topology import ConstellationTopology
+
+__all__ = ["RouteResult", "SnapshotRouter", "TimeAwareRouter"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A routed path and its figures of merit."""
+
+    path: tuple[int | str, ...]
+    latency_ms: float
+    hop_count: int
+    reachable: bool
+
+    @classmethod
+    def unreachable(cls) -> "RouteResult":
+        """Return the sentinel result for an unreachable destination."""
+        return cls(path=(), latency_ms=float("inf"), hop_count=0, reachable=False)
+
+
+def _path_latency_ms(graph: nx.Graph, path: list) -> float:
+    """Return the total delay of a path on ``graph``."""
+    return sum(
+        graph.edges[path[index], path[index + 1]]["delay_ms"]
+        for index in range(len(path) - 1)
+    )
+
+
+@dataclass
+class SnapshotRouter:
+    """Lowest-latency routing on a single topology snapshot."""
+
+    graph: nx.Graph
+
+    def route(self, source: int | str, destination: int | str) -> RouteResult:
+        """Return the minimum-delay route between two nodes."""
+        if source not in self.graph or destination not in self.graph:
+            return RouteResult.unreachable()
+        try:
+            path = nx.shortest_path(self.graph, source, destination, weight="delay_ms")
+        except nx.NetworkXNoPath:
+            return RouteResult.unreachable()
+        return RouteResult(
+            path=tuple(path),
+            latency_ms=_path_latency_ms(self.graph, path),
+            hop_count=len(path) - 1,
+            reachable=True,
+        )
+
+    def route_between_stations(
+        self, source: GroundStation, destination: GroundStation
+    ) -> RouteResult:
+        """Route between two ground stations attached to the snapshot."""
+        return self.route(f"gs:{source.name}", f"gs:{destination.name}")
+
+
+@dataclass
+class TimeAwareRouter:
+    """Routing over a sequence of topology snapshots.
+
+    Attributes
+    ----------
+    topology:
+        The constellation whose snapshots are routed over.
+    ground_stations:
+        Stations attached to every snapshot.
+    step_s:
+        Interval between snapshots.
+    """
+
+    topology: ConstellationTopology
+    ground_stations: list[GroundStation] = field(default_factory=list)
+    step_s: float = 60.0
+
+    def snapshots(self, start: Epoch, duration_s: float) -> list[tuple[Epoch, nx.Graph]]:
+        """Return (epoch, graph) snapshots covering ``duration_s`` from ``start``."""
+        if duration_s <= 0 or self.step_s <= 0:
+            raise ValueError("duration_s and step_s must be positive")
+        result = []
+        elapsed = 0.0
+        while elapsed < duration_s:
+            epoch = start.add_seconds(elapsed)
+            graph = self.topology.snapshot_graph(epoch, self.ground_stations)
+            result.append((epoch, graph))
+            elapsed += self.step_s
+        return result
+
+    def route_over_time(
+        self,
+        source: GroundStation,
+        destination: GroundStation,
+        start: Epoch,
+        duration_s: float,
+    ) -> list[tuple[Epoch, RouteResult]]:
+        """Return the best route at every snapshot over a time window.
+
+        The result exposes exactly the quantities a time-aware routing study
+        needs: per-instant latency, reachability gaps and path churn.
+        """
+        results = []
+        for epoch, graph in self.snapshots(start, duration_s):
+            router = SnapshotRouter(graph)
+            results.append((epoch, router.route_between_stations(source, destination)))
+        return results
+
+    @staticmethod
+    def availability(results: list[tuple[Epoch, RouteResult]]) -> float:
+        """Return the fraction of snapshots in which the route existed."""
+        if not results:
+            raise ValueError("no routing results supplied")
+        reachable = sum(1 for _, result in results if result.reachable)
+        return reachable / len(results)
+
+    @staticmethod
+    def path_changes(results: list[tuple[Epoch, RouteResult]]) -> int:
+        """Return how many times the selected path changed between snapshots."""
+        changes = 0
+        previous: tuple | None = None
+        for _, result in results:
+            if previous is not None and result.path != previous:
+                changes += 1
+            previous = result.path
+        return changes

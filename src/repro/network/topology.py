@@ -1,0 +1,218 @@
+"""Constellation network topologies.
+
+Builds graph snapshots of a constellation: satellites as nodes, inter-satellite
+links (ISLs) as edges, optionally with ground stations attached through
+up/down links.  The standard "+Grid" pattern (each satellite linked to its two
+intra-plane neighbours and the nearest satellite in each adjacent plane) is
+provided for both Walker-delta shells and SS-plane constellations; because an
+SS-plane constellation concentrates its planes around demand-heavy local
+times, its topology is denser in the demand-carrying region -- one of the
+Section 5 implications this layer lets users explore.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from ..orbits.elements import OrbitalElements
+from ..orbits.frames import eci_to_ecef
+from ..orbits.propagation import J2Propagator
+from ..orbits.time import Epoch
+from .ground_station import GroundStation, visible_satellites
+from .isl import ISLConfig, isl_feasible, propagation_delay_ms
+
+__all__ = ["SatelliteNode", "ConstellationTopology", "build_plus_grid_topology"]
+
+
+@dataclass(frozen=True)
+class SatelliteNode:
+    """One satellite of the network: its identity and orbital slot."""
+
+    node_id: int
+    plane_index: int
+    slot_index: int
+    elements: OrbitalElements
+
+
+@dataclass
+class ConstellationTopology:
+    """A constellation arranged in planes, able to produce graph snapshots.
+
+    Attributes
+    ----------
+    planes:
+        List of planes; each plane is the ordered list of its satellites'
+        orbital elements (order defines intra-plane neighbours).
+    epoch:
+        Reference epoch of the element sets.
+    isl_config:
+        Link feasibility and capacity parameters.
+    """
+
+    planes: list[list[OrbitalElements]]
+    epoch: Epoch
+    isl_config: ISLConfig = field(default_factory=ISLConfig)
+
+    def __post_init__(self) -> None:
+        if not self.planes or any(len(plane) == 0 for plane in self.planes):
+            raise ValueError("topology requires at least one non-empty plane")
+        self._nodes: list[SatelliteNode] = []
+        node_id = 0
+        for plane_index, plane in enumerate(self.planes):
+            for slot_index, elements in enumerate(plane):
+                self._nodes.append(
+                    SatelliteNode(
+                        node_id=node_id,
+                        plane_index=plane_index,
+                        slot_index=slot_index,
+                        elements=elements,
+                    )
+                )
+                node_id += 1
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[SatelliteNode]:
+        """All satellite nodes, ordered by node id."""
+        return self._nodes
+
+    @property
+    def satellite_count(self) -> int:
+        """Total number of satellites."""
+        return len(self._nodes)
+
+    @property
+    def plane_count(self) -> int:
+        """Number of planes."""
+        return len(self.planes)
+
+    # -- geometry ----------------------------------------------------------------
+
+    def positions_ecef_km(self, at: Epoch | None = None) -> np.ndarray:
+        """Return Earth-fixed positions [km] of all satellites at an epoch."""
+        at = at or self.epoch
+        positions = np.empty((self.satellite_count, 3))
+        for node in self._nodes:
+            state = J2Propagator(node.elements, self.epoch).state_at(at)
+            positions[node.node_id] = eci_to_ecef(state.position_km, at)
+        return positions
+
+    # -- graph construction --------------------------------------------------------
+
+    def snapshot_graph(
+        self,
+        at: Epoch | None = None,
+        ground_stations: list[GroundStation] | None = None,
+    ) -> nx.Graph:
+        """Return the +Grid network graph at an epoch.
+
+        Satellite nodes are integers; ground-station nodes are strings
+        ``"gs:<name>"``.  Every edge carries ``distance_km``, ``delay_ms`` and
+        ``capacity_gbps`` attributes.
+        """
+        at = at or self.epoch
+        positions = self.positions_ecef_km(at)
+        graph = nx.Graph()
+        for node in self._nodes:
+            graph.add_node(
+                node.node_id,
+                plane=node.plane_index,
+                slot=node.slot_index,
+                kind="satellite",
+            )
+
+        self._add_intra_plane_links(graph, positions)
+        self._add_inter_plane_links(graph, positions)
+
+        if ground_stations:
+            self._add_ground_links(graph, positions, ground_stations)
+        return graph
+
+    def _add_edge(
+        self, graph: nx.Graph, a: int | str, b: int | str, distance_km: float
+    ) -> None:
+        graph.add_edge(
+            a,
+            b,
+            distance_km=distance_km,
+            delay_ms=propagation_delay_ms(distance_km),
+            capacity_gbps=self.isl_config.capacity_gbps,
+        )
+
+    def _add_intra_plane_links(self, graph: nx.Graph, positions: np.ndarray) -> None:
+        """Link each satellite to its predecessor/successor within the plane."""
+        offset = 0
+        for plane in self.planes:
+            count = len(plane)
+            for slot in range(count):
+                if count < 2:
+                    break
+                a = offset + slot
+                b = offset + (slot + 1) % count
+                if count == 2 and graph.has_edge(a, b):
+                    continue
+                if isl_feasible(positions[a], positions[b], self.isl_config):
+                    self._add_edge(graph, a, b, float(np.linalg.norm(positions[a] - positions[b])))
+            offset += count
+
+    def _add_inter_plane_links(self, graph: nx.Graph, positions: np.ndarray) -> None:
+        """Link each satellite to its nearest feasible neighbour in adjacent planes."""
+        plane_offsets = []
+        offset = 0
+        for plane in self.planes:
+            plane_offsets.append(offset)
+            offset += len(plane)
+
+        for plane_index in range(self.plane_count):
+            next_plane = (plane_index + 1) % self.plane_count
+            if next_plane == plane_index:
+                continue
+            start_a = plane_offsets[plane_index]
+            start_b = plane_offsets[next_plane]
+            count_a = len(self.planes[plane_index])
+            count_b = len(self.planes[next_plane])
+            positions_b = positions[start_b : start_b + count_b]
+            for slot_a in range(count_a):
+                a = start_a + slot_a
+                distances = np.linalg.norm(positions_b - positions[a], axis=1)
+                b_local = int(np.argmin(distances))
+                b = start_b + b_local
+                if isl_feasible(positions[a], positions[b], self.isl_config):
+                    self._add_edge(graph, a, b, float(distances[b_local]))
+
+    def _add_ground_links(
+        self,
+        graph: nx.Graph,
+        positions: np.ndarray,
+        ground_stations: list[GroundStation],
+    ) -> None:
+        """Attach ground stations to every satellite they can currently see."""
+        for station in ground_stations:
+            gs_node = f"gs:{station.name}"
+            graph.add_node(
+                gs_node,
+                kind="ground",
+                latitude_deg=station.latitude_deg,
+                longitude_deg=station.longitude_deg,
+            )
+            for sat_index in visible_satellites(station, positions):
+                distance = float(
+                    np.linalg.norm(positions[sat_index] - station.position_ecef_km())
+                )
+                self._add_edge(graph, gs_node, int(sat_index), distance)
+
+
+def build_plus_grid_topology(
+    planes: list[list[OrbitalElements]],
+    epoch: Epoch,
+    isl_config: ISLConfig | None = None,
+) -> ConstellationTopology:
+    """Convenience constructor mirroring :class:`ConstellationTopology`."""
+    return ConstellationTopology(
+        planes=planes, epoch=epoch, isl_config=isl_config or ISLConfig()
+    )

@@ -1,0 +1,148 @@
+"""Classical (Keplerian) orbital elements.
+
+``OrbitalElements`` is the central description of a single orbit used across
+the library: propagation, ground-track generation, sun-synchronous design and
+radiation-exposure accumulation all start from an element set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..constants import EARTH_RADIUS_KM, MU_EARTH
+
+__all__ = ["OrbitalElements", "mean_motion_rad_s", "period_s", "semi_major_axis_from_period"]
+
+
+def mean_motion_rad_s(semi_major_axis_km: float) -> float:
+    """Return the two-body mean motion [rad/s] for a semi-major axis [km]."""
+    if semi_major_axis_km <= 0:
+        raise ValueError(f"semi-major axis must be positive, got {semi_major_axis_km}")
+    return math.sqrt(MU_EARTH / semi_major_axis_km**3)
+
+
+def period_s(semi_major_axis_km: float) -> float:
+    """Return the two-body orbital period [s] for a semi-major axis [km]."""
+    return 2.0 * math.pi / mean_motion_rad_s(semi_major_axis_km)
+
+
+def semi_major_axis_from_period(period_seconds: float) -> float:
+    """Return the semi-major axis [km] with the given two-body period [s]."""
+    if period_seconds <= 0:
+        raise ValueError(f"period must be positive, got {period_seconds}")
+    n = 2.0 * math.pi / period_seconds
+    return (MU_EARTH / n**2) ** (1.0 / 3.0)
+
+
+@dataclass(frozen=True)
+class OrbitalElements:
+    """Classical orbital elements of an Earth orbit.
+
+    Attributes
+    ----------
+    semi_major_axis_km:
+        Semi-major axis ``a`` in km.
+    eccentricity:
+        Eccentricity ``e`` (0 for circular orbits, the common case here).
+    inclination_rad:
+        Inclination ``i`` in radians.  Values above ``pi/2`` denote retrograde
+        orbits such as sun-synchronous ones.
+    raan_rad:
+        Right ascension of the ascending node (RAAN) in radians.
+    arg_perigee_rad:
+        Argument of perigee in radians (irrelevant for circular orbits).
+    true_anomaly_rad:
+        True anomaly at the element epoch, in radians.  For circular orbits
+        this doubles as the argument of latitude when ``arg_perigee_rad`` is 0.
+    """
+
+    semi_major_axis_km: float
+    eccentricity: float = 0.0
+    inclination_rad: float = 0.0
+    raan_rad: float = 0.0
+    arg_perigee_rad: float = 0.0
+    true_anomaly_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.semi_major_axis_km <= 0:
+            raise ValueError("semi-major axis must be positive")
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ValueError("only closed orbits (0 <= e < 1) are supported")
+        perigee_radius = self.semi_major_axis_km * (1.0 - self.eccentricity)
+        if perigee_radius < EARTH_RADIUS_KM:
+            raise ValueError(
+                f"perigee radius {perigee_radius:.1f} km is below the Earth surface"
+            )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def circular(
+        cls,
+        altitude_km: float,
+        inclination_deg: float,
+        raan_deg: float = 0.0,
+        true_anomaly_deg: float = 0.0,
+    ) -> "OrbitalElements":
+        """Build a circular orbit from altitude and angles in degrees.
+
+        This is the most convenient constructor for constellation work, where
+        every satellite is on a circular orbit described by its altitude,
+        inclination, plane (RAAN) and phase (true anomaly).
+        """
+        return cls(
+            semi_major_axis_km=EARTH_RADIUS_KM + altitude_km,
+            eccentricity=0.0,
+            inclination_rad=math.radians(inclination_deg),
+            raan_rad=math.radians(raan_deg) % (2.0 * math.pi),
+            arg_perigee_rad=0.0,
+            true_anomaly_rad=math.radians(true_anomaly_deg) % (2.0 * math.pi),
+        )
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def altitude_km(self) -> float:
+        """Altitude above the equatorial radius for circular orbits [km]."""
+        return self.semi_major_axis_km - EARTH_RADIUS_KM
+
+    @property
+    def inclination_deg(self) -> float:
+        """Inclination in degrees."""
+        return math.degrees(self.inclination_rad)
+
+    @property
+    def raan_deg(self) -> float:
+        """RAAN in degrees."""
+        return math.degrees(self.raan_rad)
+
+    @property
+    def semi_latus_rectum_km(self) -> float:
+        """Semi-latus rectum ``p = a (1 - e^2)`` in km."""
+        return self.semi_major_axis_km * (1.0 - self.eccentricity**2)
+
+    @property
+    def mean_motion_rad_s(self) -> float:
+        """Two-body mean motion in rad/s."""
+        return mean_motion_rad_s(self.semi_major_axis_km)
+
+    @property
+    def period_s(self) -> float:
+        """Two-body orbital period in seconds."""
+        return period_s(self.semi_major_axis_km)
+
+    @property
+    def is_retrograde(self) -> bool:
+        """Whether the orbit is retrograde (inclination above 90 degrees)."""
+        return self.inclination_rad > math.pi / 2.0
+
+    # -- convenience mutators (frozen dataclass: return new objects) ----------
+
+    def with_raan(self, raan_rad: float) -> "OrbitalElements":
+        """Return a copy of these elements with a different RAAN."""
+        return replace(self, raan_rad=raan_rad % (2.0 * math.pi))
+
+    def with_true_anomaly(self, true_anomaly_rad: float) -> "OrbitalElements":
+        """Return a copy of these elements with a different true anomaly."""
+        return replace(self, true_anomaly_rad=true_anomaly_rad % (2.0 * math.pi))

@@ -1,0 +1,164 @@
+"""Reference frames and coordinate conversions.
+
+Three frames matter for SS-plane constellation design:
+
+* **ECI** (Earth-Centred Inertial): where orbital mechanics happens.
+* **ECEF** (Earth-Centred Earth-Fixed): rotates with the Earth; geodetic
+  latitude/longitude and ground tracks live here.
+* **Sun-fixed** (the paper's "latitude vs. local-time-of-day grid"): rotates
+  with the mean Sun so that the subsolar meridian is always local noon.  This
+  is the frame in which both Internet demand and SS-plane supply are static.
+
+All vector functions accept and return ``numpy`` arrays of shape (3,) or
+(N, 3); scalar angle helpers take and return floats (radians unless the name
+says otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import HOURS_PER_DAY
+from .time import Epoch, gmst_rad
+from .sun import solar_right_ascension_rad
+
+__all__ = [
+    "rotation_z",
+    "rotation_x",
+    "eci_to_ecef",
+    "ecef_to_eci",
+    "ecef_to_geodetic",
+    "geodetic_to_ecef",
+    "eci_to_latlon",
+    "local_solar_time_hours",
+    "eci_to_sunfixed",
+    "sunfixed_longitude_to_local_time",
+    "local_time_to_sunfixed_longitude",
+    "great_circle_distance_rad",
+]
+
+
+def rotation_z(angle_rad: float) -> np.ndarray:
+    """Return the 3x3 rotation matrix about the +Z axis by ``angle_rad``."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rotation_x(angle_rad: float) -> np.ndarray:
+    """Return the 3x3 rotation matrix about the +X axis by ``angle_rad``."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+
+
+def eci_to_ecef(position_eci: np.ndarray, epoch: Epoch) -> np.ndarray:
+    """Rotate an ECI position (km) into the Earth-fixed frame at ``epoch``."""
+    theta = gmst_rad(epoch)
+    return np.asarray(position_eci) @ rotation_z(theta)  # R(-theta) applied to rows
+
+
+def ecef_to_eci(position_ecef: np.ndarray, epoch: Epoch) -> np.ndarray:
+    """Rotate an ECEF position (km) into the inertial frame at ``epoch``."""
+    theta = gmst_rad(epoch)
+    return np.asarray(position_ecef) @ rotation_z(-theta)
+
+
+def ecef_to_geodetic(position_ecef: np.ndarray) -> tuple[float, float, float]:
+    """Convert an ECEF position [km] to (latitude, longitude, altitude).
+
+    Latitude and longitude are geocentric-spherical in radians, altitude is
+    above the equatorial radius in km.  The spherical approximation (rather
+    than the WGS-84 ellipsoid) introduces sub-0.2 degree latitude error, which
+    is negligible at the 0.5-degree resolution of the demand and radiation
+    grids used by the paper.
+    """
+    from ..constants import EARTH_RADIUS_KM
+
+    x, y, z = (float(v) for v in np.asarray(position_ecef).reshape(3))
+    r = math.sqrt(x * x + y * y + z * z)
+    if r == 0.0:
+        raise ValueError("cannot convert the origin to geodetic coordinates")
+    latitude = math.asin(z / r)
+    longitude = math.atan2(y, x)
+    return latitude, longitude, r - EARTH_RADIUS_KM
+
+
+def geodetic_to_ecef(
+    latitude_rad: float, longitude_rad: float, altitude_km: float = 0.0
+) -> np.ndarray:
+    """Convert spherical (latitude, longitude, altitude) to an ECEF position [km]."""
+    from ..constants import EARTH_RADIUS_KM
+
+    r = EARTH_RADIUS_KM + altitude_km
+    cos_lat = math.cos(latitude_rad)
+    return np.array(
+        [
+            r * cos_lat * math.cos(longitude_rad),
+            r * cos_lat * math.sin(longitude_rad),
+            r * math.sin(latitude_rad),
+        ]
+    )
+
+
+def eci_to_latlon(position_eci: np.ndarray, epoch: Epoch) -> tuple[float, float, float]:
+    """Return (latitude, longitude, altitude) of an ECI position at ``epoch``."""
+    return ecef_to_geodetic(eci_to_ecef(position_eci, epoch))
+
+
+# --------------------------------------------------------------------------
+# Sun-fixed frame: latitude stays the same; longitude is replaced by local
+# mean solar time.
+# --------------------------------------------------------------------------
+
+
+def local_solar_time_hours(longitude_rad: float, epoch: Epoch) -> float:
+    """Return the local mean solar time [hours, 0-24) at an Earth-fixed longitude.
+
+    Defined from the hour angle of the mean Sun: local noon occurs when the
+    subsolar meridian coincides with the given longitude.
+    """
+    sun_ra = solar_right_ascension_rad(epoch)
+    subsolar_longitude = sun_ra - gmst_rad(epoch)
+    hour_angle = longitude_rad - subsolar_longitude  # 0 at local noon
+    hours = 12.0 + hour_angle * HOURS_PER_DAY / (2.0 * math.pi)
+    return float(np.mod(hours, HOURS_PER_DAY))
+
+
+def eci_to_sunfixed(position_eci: np.ndarray, epoch: Epoch) -> tuple[float, float, float]:
+    """Return (latitude_rad, local_time_hours, altitude_km) of an ECI position.
+
+    This is the coordinate chart of the paper's Figure 8: a point's "longitude"
+    is the local solar time of the meridian beneath it.
+    """
+    latitude, longitude, altitude = eci_to_latlon(position_eci, epoch)
+    return latitude, local_solar_time_hours(longitude, epoch), altitude
+
+
+def sunfixed_longitude_to_local_time(sunfixed_longitude_rad: float) -> float:
+    """Convert a sun-fixed longitude (0 at the subsolar meridian) to local time [h]."""
+    hours = 12.0 + sunfixed_longitude_rad * HOURS_PER_DAY / (2.0 * math.pi)
+    return float(np.mod(hours, HOURS_PER_DAY))
+
+
+def local_time_to_sunfixed_longitude(local_time_hours: float) -> float:
+    """Convert a local solar time [h] to a sun-fixed longitude in (-pi, pi]."""
+    longitude = (local_time_hours - 12.0) / HOURS_PER_DAY * 2.0 * math.pi
+    return float(np.mod(longitude + math.pi, 2.0 * math.pi) - math.pi)
+
+
+def great_circle_distance_rad(
+    lat1_rad: float, lon1_rad: float, lat2_rad: float, lon2_rad: float
+) -> float:
+    """Return the central angle [rad] between two (lat, lon) points.
+
+    Uses the haversine formulation, which is numerically stable for the small
+    separations that matter for coverage tests.
+    """
+    dlat = lat2_rad - lat1_rad
+    dlon = lon2_rad - lon1_rad
+    a = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1_rad) * math.cos(lat2_rad) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * math.asin(min(1.0, math.sqrt(a)))

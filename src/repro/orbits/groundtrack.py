@@ -1,0 +1,140 @@
+"""Ground-track computation.
+
+A ground track is the path of the sub-satellite point over the Earth's
+surface.  This module samples ground tracks in both the Earth-fixed frame
+(latitude/longitude, used for Figure 2 and for RGT coverage analysis) and the
+sun-fixed frame (latitude/local-time-of-day, used by the SS-plane design of
+Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .elements import OrbitalElements
+from .frames import eci_to_latlon, eci_to_sunfixed
+from .propagation import J2Propagator
+from .time import Epoch
+
+__all__ = ["GroundTrackPoint", "GroundTrack", "compute_ground_track", "compute_sunfixed_track"]
+
+
+@dataclass(frozen=True)
+class GroundTrackPoint:
+    """One sample of a ground track."""
+
+    elapsed_s: float
+    latitude_rad: float
+    longitude_rad: float
+    altitude_km: float
+
+
+@dataclass(frozen=True)
+class GroundTrack:
+    """A sampled ground track.
+
+    Attributes
+    ----------
+    points:
+        Time-ordered samples of the sub-satellite point.
+    """
+
+    points: tuple[GroundTrackPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def latitudes_rad(self) -> np.ndarray:
+        """Latitudes of all samples as an array [rad]."""
+        return np.array([p.latitude_rad for p in self.points])
+
+    @property
+    def longitudes_rad(self) -> np.ndarray:
+        """Longitudes of all samples as an array [rad], in (-pi, pi]."""
+        return np.array([p.longitude_rad for p in self.points])
+
+    @property
+    def latitudes_deg(self) -> np.ndarray:
+        """Latitudes of all samples in degrees."""
+        return np.degrees(self.latitudes_rad)
+
+    @property
+    def longitudes_deg(self) -> np.ndarray:
+        """Longitudes of all samples in degrees."""
+        return np.degrees(self.longitudes_rad)
+
+    def max_latitude_deg(self) -> float:
+        """Maximum absolute latitude reached by the track, in degrees."""
+        return float(np.max(np.abs(self.latitudes_deg)))
+
+
+def compute_ground_track(
+    elements: OrbitalElements,
+    epoch: Epoch,
+    duration_s: float,
+    step_s: float = 30.0,
+) -> GroundTrack:
+    """Sample the Earth-fixed ground track of one satellite.
+
+    Parameters
+    ----------
+    elements, epoch:
+        Orbit and its reference epoch.
+    duration_s:
+        Length of the sampled window in seconds (one repeat cycle for an RGT,
+        one day for general visualisation).
+    step_s:
+        Sampling interval in seconds.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    propagator = J2Propagator(elements, epoch)
+    times = np.arange(0.0, duration_s + step_s / 2.0, step_s)
+    points = []
+    for t in times:
+        current_epoch = epoch.add_seconds(float(t))
+        state = propagator.state_at(current_epoch)
+        latitude, longitude, altitude = eci_to_latlon(state.position_km, current_epoch)
+        points.append(
+            GroundTrackPoint(
+                elapsed_s=float(t),
+                latitude_rad=latitude,
+                longitude_rad=longitude,
+                altitude_km=altitude,
+            )
+        )
+    return GroundTrack(points=tuple(points))
+
+
+def compute_sunfixed_track(
+    elements: OrbitalElements,
+    epoch: Epoch,
+    duration_s: float,
+    step_s: float = 30.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the track in the sun-fixed (latitude, local-time-of-day) chart.
+
+    Returns
+    -------
+    (latitudes_rad, local_times_hours):
+        Arrays of equal length sampling the satellite's latitude and the local
+        solar time of the meridian beneath it.  For a sun-synchronous orbit
+        this path is (nearly) time-invariant, which is exactly the property
+        the SS-plane design builds on.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    propagator = J2Propagator(elements, epoch)
+    times = np.arange(0.0, duration_s + step_s / 2.0, step_s)
+    latitudes = np.empty(times.size)
+    local_times = np.empty(times.size)
+    for index, t in enumerate(times):
+        current_epoch = epoch.add_seconds(float(t))
+        state = propagator.state_at(current_epoch)
+        latitude, local_time, _ = eci_to_sunfixed(state.position_km, current_epoch)
+        latitudes[index] = latitude
+        local_times[index] = local_time
+    return latitudes, local_times

@@ -1,0 +1,112 @@
+"""Kepler's equation and anomaly conversions.
+
+Although most constellations in this library use circular orbits (for which
+all three anomalies coincide), the propagator supports eccentric orbits, so we
+provide the full set of conversions:
+
+    mean anomaly  <-- Kepler's equation -->  eccentric anomaly  <-->  true anomaly
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "solve_kepler",
+    "mean_to_eccentric_anomaly",
+    "eccentric_to_true_anomaly",
+    "true_to_eccentric_anomaly",
+    "eccentric_to_mean_anomaly",
+    "mean_to_true_anomaly",
+    "true_to_mean_anomaly",
+]
+
+_MAX_ITERATIONS = 50
+_TOLERANCE = 1e-12
+
+
+def solve_kepler(mean_anomaly_rad: float, eccentricity: float) -> float:
+    """Solve Kepler's equation ``M = E - e sin(E)`` for the eccentric anomaly.
+
+    Uses Newton-Raphson iteration with the standard starting guess, which
+    converges in a handful of iterations for any elliptical eccentricity.
+
+    Parameters
+    ----------
+    mean_anomaly_rad:
+        Mean anomaly ``M`` in radians (any value; wrapped internally).
+    eccentricity:
+        Orbit eccentricity in [0, 1).
+
+    Returns
+    -------
+    float
+        Eccentric anomaly ``E`` in radians, in the same revolution as ``M``.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
+
+    if eccentricity == 0.0:
+        return float(mean_anomaly_rad)
+
+    mean = float(np.mod(mean_anomaly_rad, 2.0 * math.pi))
+    # Standard initial guess: E0 = M + e*sin(M) works well for all e < 1.
+    eccentric = mean + eccentricity * math.sin(mean)
+    for _ in range(_MAX_ITERATIONS):
+        residual = eccentric - eccentricity * math.sin(eccentric) - mean
+        derivative = 1.0 - eccentricity * math.cos(eccentric)
+        delta = residual / derivative
+        eccentric -= delta
+        if abs(delta) < _TOLERANCE:
+            break
+    # Restore the revolution count of the input mean anomaly.
+    revolutions = (mean_anomaly_rad - mean) / (2.0 * math.pi)
+    return eccentric + revolutions * 2.0 * math.pi
+
+
+def mean_to_eccentric_anomaly(mean_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert mean anomaly to eccentric anomaly (alias of :func:`solve_kepler`)."""
+    return solve_kepler(mean_anomaly_rad, eccentricity)
+
+
+def eccentric_to_true_anomaly(eccentric_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert eccentric anomaly to true anomaly, in radians."""
+    half = eccentric_anomaly_rad / 2.0
+    factor = math.sqrt((1.0 + eccentricity) / (1.0 - eccentricity))
+    true = 2.0 * math.atan2(factor * math.sin(half), math.cos(half))
+    # atan2 folds into (-pi, pi]; restore continuity with the input revolution.
+    return _match_revolution(true, eccentric_anomaly_rad)
+
+
+def true_to_eccentric_anomaly(true_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert true anomaly to eccentric anomaly, in radians."""
+    half = true_anomaly_rad / 2.0
+    factor = math.sqrt((1.0 - eccentricity) / (1.0 + eccentricity))
+    eccentric = 2.0 * math.atan2(factor * math.sin(half), math.cos(half))
+    return _match_revolution(eccentric, true_anomaly_rad)
+
+
+def eccentric_to_mean_anomaly(eccentric_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert eccentric anomaly to mean anomaly via Kepler's equation."""
+    return eccentric_anomaly_rad - eccentricity * math.sin(eccentric_anomaly_rad)
+
+
+def mean_to_true_anomaly(mean_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert mean anomaly to true anomaly, in radians."""
+    eccentric = solve_kepler(mean_anomaly_rad, eccentricity)
+    return eccentric_to_true_anomaly(eccentric, eccentricity)
+
+
+def true_to_mean_anomaly(true_anomaly_rad: float, eccentricity: float) -> float:
+    """Convert true anomaly to mean anomaly, in radians."""
+    eccentric = true_to_eccentric_anomaly(true_anomaly_rad, eccentricity)
+    return eccentric_to_mean_anomaly(eccentric, eccentricity)
+
+
+def _match_revolution(angle_rad: float, reference_rad: float) -> float:
+    """Shift ``angle_rad`` by whole turns so it lies within pi of ``reference_rad``."""
+    two_pi = 2.0 * math.pi
+    turns = round((reference_rad - angle_rad) / two_pi)
+    return angle_rad + turns * two_pi

@@ -1,0 +1,149 @@
+"""Secular J2 perturbation rates.
+
+The Earth's oblateness (J2) causes three secular drifts that dominate LEO
+constellation geometry:
+
+* regression of the ascending node (RAAN drift) -- the effect that makes
+  sun-synchronous orbits possible,
+* rotation of the argument of perigee,
+* a small correction to the mean motion (the "nodal" or draconitic period),
+  which is what repeat-ground-track design must use.
+
+All formulae are the classical first-order secular rates (Vallado Ch. 9).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import EARTH_RADIUS_KM, J2_EARTH
+from .elements import OrbitalElements, mean_motion_rad_s
+
+__all__ = [
+    "raan_drift_rate",
+    "arg_perigee_drift_rate",
+    "mean_anomaly_drift_correction",
+    "nodal_period_s",
+    "nodal_day_s",
+    "J2SecularRates",
+    "j2_secular_rates",
+]
+
+
+def _j2_factor(semi_major_axis_km: float, eccentricity: float) -> float:
+    """Return the common factor ``1.5 * n * J2 * (Re/p)^2``."""
+    n = mean_motion_rad_s(semi_major_axis_km)
+    p = semi_major_axis_km * (1.0 - eccentricity**2)
+    return 1.5 * n * J2_EARTH * (EARTH_RADIUS_KM / p) ** 2
+
+
+def raan_drift_rate(
+    semi_major_axis_km: float, eccentricity: float, inclination_rad: float
+) -> float:
+    """Return the secular RAAN drift rate [rad/s] due to J2.
+
+    Negative (westward) for prograde orbits, positive (eastward) for
+    retrograde orbits -- which is why sun-synchronous orbits must be
+    retrograde: they need an eastward drift of ~0.9856 deg/day to follow the
+    Sun.
+    """
+    return -_j2_factor(semi_major_axis_km, eccentricity) * math.cos(inclination_rad)
+
+
+def arg_perigee_drift_rate(
+    semi_major_axis_km: float, eccentricity: float, inclination_rad: float
+) -> float:
+    """Return the secular argument-of-perigee drift rate [rad/s] due to J2."""
+    return _j2_factor(semi_major_axis_km, eccentricity) * (
+        2.0 - 2.5 * math.sin(inclination_rad) ** 2
+    )
+
+
+def mean_anomaly_drift_correction(
+    semi_major_axis_km: float, eccentricity: float, inclination_rad: float
+) -> float:
+    """Return the J2 correction to the mean-anomaly rate [rad/s].
+
+    The corrected mean motion is ``n + this value``; it is what determines the
+    time between successive equator crossings.
+    """
+    factor = _j2_factor(semi_major_axis_km, eccentricity)
+    return (
+        factor
+        * math.sqrt(1.0 - eccentricity**2)
+        * (1.0 - 1.5 * math.sin(inclination_rad) ** 2)
+    )
+
+
+def nodal_period_s(
+    semi_major_axis_km: float, eccentricity: float, inclination_rad: float
+) -> float:
+    """Return the nodal (draconitic) period [s]: time between ascending nodes.
+
+    This accounts for both the secular drift of the argument of latitude and
+    the rotation of the node itself, and is the period that matters for
+    repeat-ground-track design.
+    """
+    n = mean_motion_rad_s(semi_major_axis_km)
+    du_dt = (
+        n
+        + arg_perigee_drift_rate(semi_major_axis_km, eccentricity, inclination_rad)
+        + mean_anomaly_drift_correction(semi_major_axis_km, eccentricity, inclination_rad)
+    )
+    return 2.0 * math.pi / du_dt
+
+
+def nodal_day_s(
+    semi_major_axis_km: float,
+    eccentricity: float,
+    inclination_rad: float,
+    earth_rotation_rate: float | None = None,
+) -> float:
+    """Return the nodal day [s]: Earth rotation period relative to the orbit plane.
+
+    The ground track repeats when an integer number of nodal periods equals an
+    integer number of nodal days.
+    """
+    from ..constants import EARTH_ROTATION_RATE
+
+    omega_e = EARTH_ROTATION_RATE if earth_rotation_rate is None else earth_rotation_rate
+    raan_rate = raan_drift_rate(semi_major_axis_km, eccentricity, inclination_rad)
+    relative_rate = omega_e - raan_rate
+    if relative_rate <= 0:
+        raise ValueError("orbit plane rotates faster than the Earth; no nodal day exists")
+    return 2.0 * math.pi / relative_rate
+
+
+class J2SecularRates:
+    """Bundle of the three secular J2 rates for one orbit.
+
+    Attributes are all in rad/s: ``raan_rate``, ``arg_perigee_rate`` and
+    ``mean_anomaly_rate`` (the *corrected* mean motion, i.e. two-body mean
+    motion plus the J2 correction).
+    """
+
+    def __init__(self, raan_rate: float, arg_perigee_rate: float, mean_anomaly_rate: float):
+        self.raan_rate = raan_rate
+        self.arg_perigee_rate = arg_perigee_rate
+        self.mean_anomaly_rate = mean_anomaly_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "J2SecularRates("
+            f"raan_rate={self.raan_rate:.3e}, "
+            f"arg_perigee_rate={self.arg_perigee_rate:.3e}, "
+            f"mean_anomaly_rate={self.mean_anomaly_rate:.6e})"
+        )
+
+
+def j2_secular_rates(elements: OrbitalElements) -> J2SecularRates:
+    """Return the secular J2 drift rates for an element set."""
+    a = elements.semi_major_axis_km
+    e = elements.eccentricity
+    i = elements.inclination_rad
+    n = mean_motion_rad_s(a)
+    return J2SecularRates(
+        raan_rate=raan_drift_rate(a, e, i),
+        arg_perigee_rate=arg_perigee_drift_rate(a, e, i),
+        mean_anomaly_rate=n + mean_anomaly_drift_correction(a, e, i),
+    )

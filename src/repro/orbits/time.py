@@ -1,0 +1,142 @@
+"""Time scales and Earth-rotation angles.
+
+The library works internally with a single ``Epoch`` type that wraps a Julian
+date (UT1 ~ UTC for our purposes; sub-second time-scale differences are
+irrelevant to constellation design).  The only Earth-orientation quantity we
+need is Greenwich Mean Sidereal Time (GMST), which relates the inertial (ECI)
+and Earth-fixed (ECEF) frames.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    DAYS_PER_JULIAN_CENTURY,
+    JD_J2000,
+    SOLAR_DAY_S,
+)
+
+__all__ = [
+    "Epoch",
+    "julian_date",
+    "gmst_rad",
+    "J2000",
+]
+
+
+def julian_date(
+    year: int,
+    month: int,
+    day: int,
+    hour: int = 0,
+    minute: int = 0,
+    second: float = 0.0,
+) -> float:
+    """Return the Julian date of a Gregorian calendar instant (UT).
+
+    Uses the standard Fliegel-Van Flandern algorithm, valid for all dates
+    after 1582-10-15.
+
+    >>> round(julian_date(2000, 1, 1, 12, 0, 0.0), 1)
+    2451545.0
+    """
+    if month <= 2:
+        year -= 1
+        month += 12
+    a = year // 100
+    b = 2 - a + a // 4
+    jd0 = (
+        math.floor(365.25 * (year + 4716))
+        + math.floor(30.6001 * (month + 1))
+        + day
+        + b
+        - 1524.5
+    )
+    day_fraction = (hour + minute / 60.0 + second / 3600.0) / 24.0
+    return jd0 + day_fraction
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """An instant in time expressed as a Julian date (UT).
+
+    ``Epoch`` objects are immutable and support offsetting by seconds or days,
+    which is how propagation loops advance time.
+    """
+
+    jd: float
+
+    @classmethod
+    def from_calendar(
+        cls,
+        year: int,
+        month: int,
+        day: int,
+        hour: int = 0,
+        minute: int = 0,
+        second: float = 0.0,
+    ) -> "Epoch":
+        """Build an epoch from a Gregorian calendar date."""
+        return cls(julian_date(year, month, day, hour, minute, second))
+
+    def add_seconds(self, seconds: float) -> "Epoch":
+        """Return a new epoch ``seconds`` later."""
+        return Epoch(self.jd + seconds / SOLAR_DAY_S)
+
+    def add_days(self, days: float) -> "Epoch":
+        """Return a new epoch ``days`` later."""
+        return Epoch(self.jd + days)
+
+    def seconds_since(self, other: "Epoch") -> float:
+        """Return the number of seconds elapsed since ``other``."""
+        return (self.jd - other.jd) * SOLAR_DAY_S
+
+    def days_since_j2000(self) -> float:
+        """Return the number of days elapsed since the J2000.0 epoch."""
+        return self.jd - JD_J2000
+
+    def centuries_since_j2000(self) -> float:
+        """Return Julian centuries elapsed since the J2000.0 epoch."""
+        return self.days_since_j2000() / DAYS_PER_JULIAN_CENTURY
+
+    def fraction_of_day(self) -> float:
+        """Return the UT fraction of the current day in [0, 1).
+
+        Julian dates start at noon, so 0.5 must be added before taking the
+        fractional part.
+        """
+        return (self.jd + 0.5) % 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Epoch(jd={self.jd:.6f})"
+
+
+#: The J2000.0 reference epoch.
+J2000 = Epoch(JD_J2000)
+
+
+def gmst_rad(epoch: Epoch | float) -> float:
+    """Return Greenwich Mean Sidereal Time at ``epoch`` in radians.
+
+    Implements the IAU-82 GMST polynomial (Vallado, Eq. 3-47).  The result is
+    normalised to [0, 2*pi).
+
+    Parameters
+    ----------
+    epoch:
+        Either an :class:`Epoch` or a raw Julian date.
+    """
+    jd = epoch.jd if isinstance(epoch, Epoch) else float(epoch)
+    t = (jd - JD_J2000) / DAYS_PER_JULIAN_CENTURY
+    gmst_seconds = (
+        67310.54841
+        + (876600.0 * 3600.0 + 8640184.812866) * t
+        + 0.093104 * t * t
+        - 6.2e-6 * t * t * t
+    )
+    gmst = math.radians((gmst_seconds % SOLAR_DAY_S) / 240.0)
+    return float(np.mod(gmst, 2.0 * math.pi))

@@ -1,0 +1,34 @@
+"""Near-Earth radiation environment substrate (IRENE AE9/AP9 substitute).
+
+Offset-tilted-dipole geomagnetic field, McIlwain L-shells, parametric Van
+Allen belt flux models for electrons and protons (with the South Atlantic
+Anomaly and the high-latitude electron horns emerging from the field
+geometry), solar-cycle modulation, gridded flux maps and daily-fluence
+accumulation along orbits.
+"""
+
+from .belts import BeltComponent, TrappedParticleModel, default_radiation_model
+from .exposure import DailyFluence, ExposureCalculator, daily_fluence_vs_inclination
+from .flux_map import FluxMapBuilder, electron_flux_map, proton_flux_map
+from .magnetic_field import DEFAULT_DIPOLE, DipoleModel
+from .saa import SAARegion, in_saa, locate_saa
+from .solar_cycle import SOLAR_CYCLE_24, SolarCycle
+
+__all__ = [
+    "BeltComponent",
+    "TrappedParticleModel",
+    "default_radiation_model",
+    "DailyFluence",
+    "ExposureCalculator",
+    "daily_fluence_vs_inclination",
+    "FluxMapBuilder",
+    "electron_flux_map",
+    "proton_flux_map",
+    "DEFAULT_DIPOLE",
+    "DipoleModel",
+    "SAARegion",
+    "in_saa",
+    "locate_saa",
+    "SOLAR_CYCLE_24",
+    "SolarCycle",
+]

@@ -1,0 +1,81 @@
+"""Tests of the per-figure data-generation functions (coarse/fast settings)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import figures
+from repro.core.designer import ConstellationDesigner
+from repro.core.metrics import MetricsCalculator
+from repro.demand.population import synthetic_population_grid
+from repro.demand.spatiotemporal import SpatiotemporalDemandModel
+from repro.radiation.exposure import ExposureCalculator
+
+
+class TestLightFigures:
+    def test_figure02_track(self):
+        data = figures.figure02_rgt_ground_track(step_s=180.0)
+        assert data["revolutions"] in (14, 15, 16)
+        assert len(data["latitude_deg"]) == len(data["longitude_deg"])
+        assert data["swath_half_width_deg"] > 0
+
+    def test_figure03_population(self):
+        data = figures.figure03_population_by_latitude(resolution_deg=2.0)
+        assert data["latitude_deg"].shape == data["max_density_per_km2"].shape
+        assert data["max_density_per_km2"].max() > 1000.0
+
+    def test_figure04_percentiles(self):
+        data = figures.figure04_diurnal_percentiles(n_sites=40, n_days=3, seed=1)
+        assert data["hour_of_day"].shape == (24,)
+        assert np.all(data["percent_of_median_p95"] >= data["percent_of_median_p50"])
+
+    def test_figure05_snapshots(self):
+        data = figures.figure05_demand_snapshots(hours=(0.0, 12.0), population_resolution_deg=4.0)
+        assert set(data["snapshots"]) == {0.0, 12.0}
+        for snapshot in data["snapshots"].values():
+            assert snapshot["demand"].min() >= 0.0
+
+    def test_figure06_map(self):
+        data = figures.figure06_radiation_map(resolution_deg=6.0, n_days=16)
+        assert data["electron_flux"].shape == (30, 60)
+        assert data["electron_flux"].max() > 0.0
+
+    def test_figure07_fluence(self):
+        data = figures.figure07_fluence_vs_inclination(
+            inclinations_deg=np.array([50.0, 65.0, 97.6])
+        )
+        assert data["electron_fluence"].shape == (3,)
+        assert data["electron_fluence"][1] > data["electron_fluence"][2]
+
+    def test_figure08_grid(self):
+        data = figures.figure08_demand_grid(
+            lat_resolution_deg=6.0, time_resolution_hours=2.0, population_resolution_deg=4.0
+        )
+        assert data["demand_percent_of_peak"].max() == pytest.approx(100.0)
+
+
+class TestSweepFigures:
+    @pytest.fixture(scope="class")
+    def coarse_designer(self):
+        return ConstellationDesigner(
+            demand_model=SpatiotemporalDemandModel(
+                population=synthetic_population_grid(resolution_deg=4.0)
+            ),
+            lat_resolution_deg=6.0,
+            time_resolution_hours=3.0,
+            metrics_calculator=MetricsCalculator(exposure=ExposureCalculator(step_s=300.0)),
+        )
+
+    def test_figure09_10_sweep(self, coarse_designer):
+        data = figures.figure09_figure10_sweep(
+            bandwidth_multipliers=(2.0, 6.0), designer=coarse_designer
+        )
+        assert np.all(data["ss_satellites"] > 0)
+        assert np.all(data["walker_satellites"] >= data["ss_satellites"])
+        assert np.all(data["ss_median_electron"] <= data["walker_median_electron"])
+
+    def test_headline_claims(self, coarse_designer):
+        data = figures.headline_claims(bandwidth_multipliers=(2.0,), designer=coarse_designer)
+        assert data["max_satellite_reduction_factor"] >= 1.0
+        assert isinstance(data["order_of_magnitude_fewer_satellites"], bool)

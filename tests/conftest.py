@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demand.diurnal import DiurnalProfile
+from repro.demand.population import synthetic_population_grid
+from repro.demand.spatiotemporal import SpatiotemporalDemandModel
+from repro.orbits.time import Epoch
+from repro.radiation.belts import default_radiation_model
+from repro.radiation.exposure import ExposureCalculator
+
+
+@pytest.fixture(scope="session")
+def epoch() -> Epoch:
+    """A fixed reference epoch (2025 March equinox, noon UT)."""
+    return Epoch.from_calendar(2025, 3, 20, 12, 0, 0.0)
+
+
+@pytest.fixture(scope="session")
+def population_grid_1deg():
+    """The synthetic population grid at 1-degree resolution (built once)."""
+    return synthetic_population_grid(resolution_deg=1.0)
+
+
+@pytest.fixture(scope="session")
+def demand_model(population_grid_1deg) -> SpatiotemporalDemandModel:
+    """Spatiotemporal demand model built on the shared 1-degree population grid."""
+    return SpatiotemporalDemandModel(population=population_grid_1deg, profile=DiurnalProfile())
+
+
+@pytest.fixture(scope="session")
+def radiation_model():
+    """The default calibrated trapped-particle model."""
+    return default_radiation_model()
+
+
+@pytest.fixture(scope="session")
+def exposure_calculator(radiation_model) -> ExposureCalculator:
+    """Exposure calculator with a coarser step to keep test runtime low."""
+    return ExposureCalculator(model=radiation_model, step_s=120.0)

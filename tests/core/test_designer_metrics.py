@@ -1,0 +1,106 @@
+"""Integration tests of the high-level designer, metrics and comparison sweep.
+
+These are the tests that check the paper's evaluation-level claims end to end
+on small/coarse instances (the benchmarks run the full-size versions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.comparison import run_comparison_sweep
+from repro.core.designer import ConstellationDesigner
+from repro.core.metrics import MetricsCalculator
+from repro.core.rgt_baseline import rgt_vs_walker_sweep
+from repro.demand.spatiotemporal import SpatiotemporalDemandModel
+from repro.radiation.exposure import ExposureCalculator
+
+
+@pytest.fixture(scope="module")
+def coarse_designer(population_grid_1deg_module=None):
+    from repro.demand.population import synthetic_population_grid
+
+    model = SpatiotemporalDemandModel(
+        population=synthetic_population_grid(resolution_deg=2.0)
+    )
+    return ConstellationDesigner(
+        demand_model=model,
+        lat_resolution_deg=4.0,
+        time_resolution_hours=2.0,
+        metrics_calculator=MetricsCalculator(exposure=ExposureCalculator(step_s=180.0)),
+    )
+
+
+class TestConstellationDesigner:
+    def test_demand_grid_scaling(self, coarse_designer):
+        grid = coarse_designer.demand_grid(25.0)
+        assert grid.values.max() == pytest.approx(25.0)
+
+    def test_ss_design_satisfies_demand(self, coarse_designer):
+        outcome = coarse_designer.design_ssplane(5.0)
+        assert outcome.metrics.satisfied
+        assert outcome.metrics.total_satellites > 0
+        assert outcome.metrics.design == "ss-plane"
+
+    def test_walker_design_satisfies_demand(self, coarse_designer):
+        outcome = coarse_designer.design_walker(5.0)
+        assert outcome.metrics.satisfied
+        assert outcome.metrics.total_satellites > 0
+        assert outcome.metrics.design == "walker"
+
+    def test_ss_uses_fewer_satellites_than_walker(self, coarse_designer):
+        # The paper's Figure 9 headline: SS-plane designs need fewer
+        # satellites than the Walker baseline at the same demand.
+        ss, walker = coarse_designer.design_both(5.0)
+        assert ss.total_satellites < walker.total_satellites
+
+    def test_ss_radiation_below_walker(self, coarse_designer):
+        # The paper's Figure 10 headline: lower median radiation for SS.
+        ss, walker = coarse_designer.design_both(5.0)
+        assert ss.metrics.median_electron_fluence < walker.metrics.median_electron_fluence
+        assert ss.metrics.median_proton_fluence < walker.metrics.median_proton_fluence
+
+    def test_satellite_counts_grow_with_demand(self, coarse_designer):
+        small_ss = coarse_designer.design_ssplane(3.0).total_satellites
+        large_ss = coarse_designer.design_ssplane(12.0).total_satellites
+        assert large_ss > small_ss
+
+    def test_advantage_shrinks_as_demand_grows(self, coarse_designer):
+        # Figure 9: the SS advantage is largest at low demand and shrinks as
+        # the demand grid saturates.
+        low_ss, low_wd = coarse_designer.design_both(3.0)
+        high_ss, high_wd = coarse_designer.design_both(30.0)
+        low_ratio = low_wd.total_satellites / low_ss.total_satellites
+        high_ratio = high_wd.total_satellites / high_ss.total_satellites
+        assert low_ratio > high_ratio
+
+
+class TestComparisonSweep:
+    def test_sweep_points_and_claims(self, coarse_designer):
+        sweep = run_comparison_sweep((3.0, 10.0), designer=coarse_designer)
+        assert len(sweep.points) == 2
+        claims = sweep.headline_claims()
+        assert claims.max_satellite_reduction_factor > 1.0
+        assert claims.max_electron_reduction_percent > 0.0
+        assert claims.max_proton_reduction_percent > 0.0
+
+    def test_empty_sweep_rejected(self):
+        from repro.core.comparison import ComparisonSweep
+
+        with pytest.raises(ValueError):
+            ComparisonSweep().headline_claims()
+
+
+class TestRGTBaseline:
+    def test_figure1_ordering(self):
+        points = rgt_vs_walker_sweep(
+            inclination_deg=65.0,
+            min_altitude_km=1000.0,
+            max_altitude_km=1700.0,
+            walker_grid_step_deg=6.0,
+            walker_time_samples=5,
+        )
+        assert len(points) >= 2
+        # Covering a single RGT is never cheaper than the Walker baseline.
+        for point in points:
+            assert point.rgt_worse or point.rgt_satellites == point.walker_satellites

@@ -1,0 +1,121 @@
+"""Tests of the SS-plane primitive."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coverage.grid import LatLocalTimeGrid
+from repro.core.ssplane import SSPlane, plane_local_time_offset_hours, satellites_per_plane
+from repro.orbits.sunsync import sun_synchronous_inclination_deg
+
+
+@pytest.fixture()
+def grid() -> LatLocalTimeGrid:
+    return LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=1.0)
+
+
+class TestSatellitesPerPlane:
+    def test_typical_count_at_560_km(self):
+        count = satellites_per_plane(560.0, 25.0)
+        assert 20 <= count <= 35
+
+    def test_more_satellites_at_lower_altitude(self):
+        assert satellites_per_plane(400.0, 25.0) > satellites_per_plane(1200.0, 25.0)
+
+    def test_wider_street_needs_more_satellites(self):
+        assert satellites_per_plane(560.0, 25.0, 0.8) > satellites_per_plane(560.0, 25.0, 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            satellites_per_plane(560.0, 25.0, street_half_width_fraction=1.2)
+
+
+class TestLocalTimeOffset:
+    def test_equator_has_zero_offset(self):
+        inclination = math.radians(97.6)
+        assert plane_local_time_offset_hours(0.0, inclination) == pytest.approx(0.0)
+
+    def test_ascending_descending_symmetric(self):
+        inclination = math.radians(97.6)
+        latitude = math.radians(40.0)
+        ascending = plane_local_time_offset_hours(latitude, inclination, ascending=True)
+        descending = plane_local_time_offset_hours(latitude, inclination, ascending=False)
+        # The two branches sit symmetrically around the 12-hour opposite node.
+        assert ascending != pytest.approx(descending)
+        assert (ascending + descending) % 24.0 == pytest.approx(12.0, abs=1e-6)
+
+    def test_unreachable_latitude_raises(self):
+        with pytest.raises(ValueError):
+            plane_local_time_offset_hours(math.radians(89.0), math.radians(97.6))
+
+    def test_equatorial_orbit_rejected(self):
+        with pytest.raises(ValueError):
+            plane_local_time_offset_hours(0.1, 0.0)
+
+
+class TestSSPlane:
+    def test_inclination_is_sun_synchronous(self):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=10.5, satellite_count=25)
+        assert plane.inclination_deg == pytest.approx(
+            sun_synchronous_inclination_deg(560.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSPlane(altitude_km=560.0, ltan_hours=25.0, satellite_count=25)
+        with pytest.raises(ValueError):
+            SSPlane(altitude_km=560.0, ltan_hours=10.0, satellite_count=0)
+
+    def test_satellite_elements_spread_in_phase(self):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=12.0, satellite_count=10)
+        elements = plane.satellite_elements()
+        assert len(elements) == 10
+        anomalies = sorted(e.true_anomaly_rad for e in elements)
+        gaps = np.diff(anomalies)
+        np.testing.assert_allclose(gaps, 2.0 * math.pi / 10, atol=1e-9)
+
+    def test_path_passes_through_ltan_at_equator(self, grid):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=14.0, satellite_count=25)
+        ascending, descending = plane.path_local_time_hours(np.array([0.0]))
+        assert ascending[0] == pytest.approx(14.0, abs=1e-6)
+        assert descending[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_path_nan_beyond_reach(self):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=14.0, satellite_count=25)
+        ascending, _ = plane.path_local_time_hours(np.array([math.radians(89.0)]))
+        assert np.isnan(ascending[0])
+
+    def test_coverage_mask_contains_node_cell(self, grid):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=20.5, satellite_count=25)
+        mask = plane.coverage_mask(grid)
+        row, col = grid.index_of(0.0, 20.5)
+        assert mask[row, col]
+
+    def test_coverage_mask_excludes_opposite_time_at_equator(self, grid):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=20.5, satellite_count=25)
+        mask = plane.coverage_mask(grid)
+        row, col = grid.index_of(0.0, 14.5)
+        assert not mask[row, col]
+
+    def test_coverage_beyond_turnaround_limited_to_turnaround_time(self, grid):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=20.5, satellite_count=25)
+        mask = plane.coverage_mask(grid)
+        # 84 degrees is beyond the orbit's 82.4-degree reach but within the
+        # street width of the northern turnaround (local time LTAN - 6 h for a
+        # retrograde orbit); the opposite local time must remain uncovered.
+        row = grid.index_of(84.0, 0.0)[0]
+        turn_col = grid.index_of(84.0, (20.5 - 6.0) % 24.0)[1]
+        opposite_col = grid.index_of(84.0, (20.5 + 6.0) % 24.0)[1]
+        assert mask[row, turn_col]
+        assert not mask[row, opposite_col]
+        # Far beyond the street the row is entirely uncovered.
+        polar_row = grid.index_of(89.0, 0.0)[0]
+        assert not mask[polar_row, :].any()
+
+    def test_covers_helper(self, grid):
+        plane = SSPlane(altitude_km=560.0, ltan_hours=6.0, satellite_count=25)
+        assert plane.covers(0.0, 6.0, grid)
+        assert not plane.covers(0.0, 12.0, grid)

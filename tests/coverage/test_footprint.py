@@ -1,0 +1,80 @@
+"""Tests of spot-beam footprint geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.coverage.footprint import (
+    Footprint,
+    coverage_half_angle_rad,
+    footprint_area_km2,
+    nadir_angle_rad,
+    slant_range_km,
+)
+
+
+class TestHalfAngle:
+    def test_known_values(self):
+        # 560 km / 25 degrees elevation: roughly 8.6 degrees half-angle.
+        assert math.degrees(coverage_half_angle_rad(560.0, 25.0)) == pytest.approx(8.6, abs=0.2)
+        # 1215 km / 25 degrees: roughly 15.4 degrees.
+        assert math.degrees(coverage_half_angle_rad(1215.0, 25.0)) == pytest.approx(
+            15.4, abs=0.2
+        )
+
+    @given(st.floats(min_value=300.0, max_value=2000.0))
+    def test_wider_at_lower_elevation(self, altitude):
+        assert coverage_half_angle_rad(altitude, 10.0) > coverage_half_angle_rad(altitude, 40.0)
+
+    @given(st.floats(min_value=5.0, max_value=60.0))
+    def test_wider_at_higher_altitude(self, elevation):
+        assert coverage_half_angle_rad(1500.0, elevation) > coverage_half_angle_rad(
+            400.0, elevation
+        )
+
+    def test_zero_elevation_is_horizon_limit(self):
+        half_angle = coverage_half_angle_rad(560.0, 0.0)
+        expected = math.acos(EARTH_RADIUS_KM / (EARTH_RADIUS_KM + 560.0))
+        assert half_angle == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coverage_half_angle_rad(-10.0, 25.0)
+        with pytest.raises(ValueError):
+            coverage_half_angle_rad(560.0, 95.0)
+
+
+class TestDerivedQuantities:
+    def test_nadir_plus_central_plus_elevation(self):
+        # The three angles of the Earth-centre / satellite / user triangle
+        # must sum to 90 degrees.
+        altitude, elevation = 560.0, 25.0
+        total = (
+            nadir_angle_rad(altitude, elevation)
+            + coverage_half_angle_rad(altitude, elevation)
+            + math.radians(elevation)
+        )
+        assert total == pytest.approx(math.pi / 2.0)
+
+    def test_slant_range_bounds(self):
+        altitude = 560.0
+        assert slant_range_km(altitude, 89.0) == pytest.approx(altitude, rel=0.01)
+        assert slant_range_km(altitude, 25.0) > altitude
+
+    def test_area_scales_with_half_angle(self):
+        small = footprint_area_km2(400.0, 40.0)
+        large = footprint_area_km2(1200.0, 20.0)
+        assert large > small
+
+    def test_footprint_value_object(self):
+        footprint = Footprint(altitude_km=560.0, min_elevation_deg=25.0)
+        assert footprint.half_angle_deg == pytest.approx(8.6, abs=0.2)
+        assert footprint.half_width_km == pytest.approx(
+            EARTH_RADIUS_KM * footprint.half_angle_rad
+        )
+        assert footprint.covers(footprint.half_angle_rad * 0.9)
+        assert not footprint.covers(footprint.half_angle_rad * 1.1)

@@ -1,0 +1,104 @@
+"""Tests of the latitude/longitude and latitude/local-time grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import EARTH_MEAN_RADIUS_KM
+from repro.coverage.grid import LatLocalTimeGrid, LatLonGrid
+
+
+class TestLatLonGrid:
+    def test_shape(self):
+        grid = LatLonGrid(resolution_deg=0.5)
+        assert grid.values.shape == (360, 720)
+        assert grid.latitudes_deg[0] == pytest.approx(-89.75)
+        assert grid.longitudes_deg[-1] == pytest.approx(179.75)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(resolution_deg=0.7)
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ValueError):
+            LatLonGrid(resolution_deg=1.0, values=np.zeros((10, 10)))
+
+    def test_total_cell_area_is_earth_surface(self):
+        grid = LatLonGrid(resolution_deg=5.0)
+        total = grid.cell_area_km2().sum()
+        expected = 4.0 * np.pi * EARTH_MEAN_RADIUS_KM**2
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        st.floats(min_value=-90.0, max_value=90.0),
+        st.floats(min_value=-360.0, max_value=360.0),
+    )
+    def test_index_in_bounds(self, lat, lon):
+        grid = LatLonGrid(resolution_deg=2.0)
+        row, col = grid.index_of(lat, lon)
+        assert 0 <= row < grid.n_lat
+        assert 0 <= col < grid.n_lon
+
+    def test_add_and_read_back(self):
+        grid = LatLonGrid(resolution_deg=1.0)
+        grid.add_at(48.85, 2.35, 7.5)
+        assert grid.value_at(48.85, 2.35) == pytest.approx(7.5)
+        assert grid.value_at(-48.85, 2.35) == 0.0
+
+    def test_max_over_longitude(self):
+        grid = LatLonGrid(resolution_deg=10.0)
+        grid.add_at(45.0, 100.0, 3.0)
+        grid.add_at(45.0, -100.0, 5.0)
+        row, _ = grid.index_of(45.0, 0.0)
+        assert grid.max_over_longitude()[row] == 5.0
+
+    def test_copy_is_independent(self):
+        grid = LatLonGrid(resolution_deg=10.0)
+        other = grid.copy()
+        other.add_at(0.0, 0.0, 1.0)
+        assert grid.total() == 0.0
+
+
+class TestLatLocalTimeGrid:
+    def test_shape(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=1.0)
+        assert grid.values.shape == (90, 24)
+        assert grid.local_times_hours[0] == pytest.approx(0.5)
+
+    def test_invalid_resolutions(self):
+        with pytest.raises(ValueError):
+            LatLocalTimeGrid(lat_resolution_deg=7.0, time_resolution_hours=1.0)
+        with pytest.raises(ValueError):
+            LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=5.0)
+
+    def test_index_wraps_time(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=1.0)
+        assert grid.index_of(0.0, 24.5) == grid.index_of(0.0, 0.5)
+
+    def test_peak(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=1.0)
+        row, col = grid.index_of(35.0, 20.5)
+        grid.values[row, col] = 42.0
+        peak_lat, peak_time, peak_value = grid.peak()
+        assert peak_value == 42.0
+        assert peak_lat == pytest.approx(35.0, abs=1.0)
+        assert peak_time == pytest.approx(20.5, abs=0.5)
+
+    def test_subtract_clamped(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=30.0, time_resolution_hours=12.0)
+        grid.values[:] = 0.5
+        grid.subtract_clamped(np.ones_like(grid.values))
+        assert grid.total() == 0.0
+
+    def test_subtract_clamped_shape_mismatch(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=30.0, time_resolution_hours=12.0)
+        with pytest.raises(ValueError):
+            grid.subtract_clamped(np.ones((2, 2)))
+
+    def test_copy_independent(self):
+        grid = LatLocalTimeGrid(lat_resolution_deg=30.0, time_resolution_hours=12.0)
+        copy = grid.copy()
+        copy.values[:] = 9.0
+        assert grid.total() == 0.0

@@ -1,0 +1,76 @@
+"""Tests of ground-site visibility computations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.coverage.visibility import (
+    elevation_angle_rad,
+    is_visible,
+    slant_range_to_km,
+    visibility_windows,
+)
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.frames import ecef_to_eci, geodetic_to_ecef
+
+
+class TestElevation:
+    def test_zenith_pass(self, epoch):
+        site_lat, site_lon = math.radians(10.0), math.radians(45.0)
+        overhead_ecef = geodetic_to_ecef(site_lat, site_lon, 560.0)
+        overhead_eci = ecef_to_eci(overhead_ecef, epoch)
+        elevation = elevation_angle_rad(overhead_eci, site_lat, site_lon, epoch)
+        assert math.degrees(elevation) == pytest.approx(90.0, abs=1e-6)
+
+    def test_antipodal_satellite_below_horizon(self, epoch):
+        site_lat, site_lon = math.radians(10.0), math.radians(45.0)
+        antipode = geodetic_to_ecef(-site_lat, site_lon + math.pi, 560.0)
+        elevation = elevation_angle_rad(ecef_to_eci(antipode, epoch), site_lat, site_lon, epoch)
+        assert elevation < 0.0
+
+    def test_slant_range_at_zenith(self, epoch):
+        site_lat, site_lon = 0.3, -1.0
+        overhead = ecef_to_eci(geodetic_to_ecef(site_lat, site_lon, 800.0), epoch)
+        assert slant_range_to_km(overhead, site_lat, site_lon, epoch) == pytest.approx(
+            800.0, rel=1e-9
+        )
+
+    def test_is_visible_threshold(self, epoch):
+        site_lat, site_lon = math.radians(0.0), math.radians(0.0)
+        overhead = ecef_to_eci(geodetic_to_ecef(site_lat, site_lon, 560.0), epoch)
+        assert is_visible(overhead, site_lat, site_lon, epoch, min_elevation_deg=80.0)
+
+    def test_coincident_position_rejected(self, epoch):
+        site_lat, site_lon = 0.0, 0.0
+        site = ecef_to_eci(geodetic_to_ecef(site_lat, site_lon, 0.0), epoch)
+        with pytest.raises(ValueError):
+            elevation_angle_rad(site, site_lat, site_lon, epoch)
+
+
+class TestVisibilityWindows:
+    def test_leo_pass_durations(self, epoch):
+        # A 560 km satellite passing over a mid-latitude site produces passes
+        # of at most ~10 minutes above a 25-degree mask.
+        elements = OrbitalElements.circular(560.0, 65.0)
+        windows = visibility_windows(
+            elements, epoch, 45.0, 0.0, duration_s=6 * 3600.0, step_s=30.0,
+            min_elevation_deg=25.0,
+        )
+        for window in windows:
+            assert window.duration_s <= 12 * 60.0
+
+    def test_station_outside_inclination_band_sees_nothing(self, epoch):
+        elements = OrbitalElements.circular(560.0, 30.0)
+        windows = visibility_windows(
+            elements, epoch, 80.0, 0.0, duration_s=2 * 3600.0, step_s=60.0
+        )
+        assert windows == []
+
+    def test_step_validation(self, epoch):
+        elements = OrbitalElements.circular(560.0, 65.0)
+        with pytest.raises(ValueError):
+            visibility_windows(elements, epoch, 45.0, 0.0, 3600.0, step_s=0.0)

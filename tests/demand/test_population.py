@@ -1,0 +1,72 @@
+"""Tests of the synthetic population grid (SEDAC substitute, Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.demand.population import METRO_AREAS, PopulationModel, synthetic_population_grid
+
+
+class TestMetroCatalogue:
+    def test_catalogue_size(self):
+        # A couple of hundred metro areas back the spatial structure.
+        assert len(METRO_AREAS) >= 200
+
+    def test_coordinates_valid(self):
+        for metro in METRO_AREAS:
+            assert -90.0 <= metro.latitude_deg <= 90.0
+            assert -180.0 <= metro.longitude_deg <= 180.0
+            assert metro.population_millions > 0
+
+    def test_contains_major_cities(self):
+        names = {metro.name for metro in METRO_AREAS}
+        for expected in ("Tokyo", "Delhi", "Sao Paulo", "Lagos", "New York", "London"):
+            assert expected in names
+
+
+class TestPopulationGrid:
+    def test_total_population(self, population_grid_1deg):
+        total = population_grid_1deg.total(area_weighted=True)
+        assert total == pytest.approx(8.0e9, rel=0.02)
+
+    def test_peak_density_magnitude(self, population_grid_1deg):
+        # SEDAC's 0.5-degree maxima are a few thousand people per km^2; the
+        # synthetic grid at 1 degree should be in the same range.
+        peak = population_grid_1deg.values.max()
+        assert 2000.0 <= peak <= 15000.0
+
+    def test_max_density_peaks_at_intermediate_northern_latitudes(self, population_grid_1deg):
+        profile = population_grid_1deg.max_over_longitude()
+        lats = population_grid_1deg.latitudes_deg
+        peak_latitude = lats[int(np.argmax(profile))]
+        assert 15.0 <= peak_latitude <= 45.0
+
+    def test_poles_empty(self, population_grid_1deg):
+        profile = population_grid_1deg.max_over_longitude()
+        lats = population_grid_1deg.latitudes_deg
+        assert profile[np.abs(lats) > 80.0].max() == 0.0
+
+    def test_northern_hemisphere_dominates(self, population_grid_1deg):
+        lats = population_grid_1deg.latitudes_deg
+        area = population_grid_1deg.cell_area_km2()
+        north = (population_grid_1deg.values * area)[lats > 0, :].sum()
+        south = (population_grid_1deg.values * area)[lats < 0, :].sum()
+        assert north > 3.0 * south
+
+    def test_oceans_sparse(self, population_grid_1deg):
+        # The central Pacific should be essentially empty.
+        assert population_grid_1deg.value_at(0.0, -140.0) < 5.0
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            PopulationModel(metro_sigma_km=-1.0)
+        with pytest.raises(ValueError):
+            PopulationModel(rural_fraction=1.5)
+        with pytest.raises(ValueError):
+            PopulationModel(world_population_billions=0.0)
+
+    def test_finer_grid_has_higher_peak(self):
+        coarse = synthetic_population_grid(resolution_deg=2.0)
+        fine = synthetic_population_grid(resolution_deg=1.0)
+        assert fine.values.max() >= coarse.values.max()

@@ -1,0 +1,70 @@
+"""Tests of the gravity traffic-matrix generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.grid import LatLonGrid
+from repro.demand.traffic_matrix import City, GravityTrafficModel, TrafficMatrix
+
+
+class TestTrafficMatrix:
+    def test_shape_validation(self):
+        cities = (City("a", 0.0, 0.0, 1.0), City("b", 10.0, 10.0, 2.0))
+        with pytest.raises(ValueError):
+            TrafficMatrix(cities=cities, demands=np.zeros((3, 3)))
+
+    def test_negative_rejected(self):
+        cities = (City("a", 0.0, 0.0, 1.0), City("b", 10.0, 10.0, 2.0))
+        with pytest.raises(ValueError):
+            TrafficMatrix(cities=cities, demands=np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_top_flows_sorted(self):
+        cities = (
+            City("a", 0.0, 0.0, 1.0),
+            City("b", 10.0, 10.0, 2.0),
+            City("c", 20.0, 20.0, 3.0),
+        )
+        demands = np.array([[0.0, 5.0, 1.0], [2.0, 0.0, 7.0], [0.5, 0.2, 0.0]])
+        matrix = TrafficMatrix(cities=cities, demands=demands)
+        flows = matrix.top_flows(2)
+        assert flows[0] == ("b", "c", 7.0)
+        assert flows[1] == ("a", "b", 5.0)
+
+
+class TestGravityModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return GravityTrafficModel(total_demand=100.0)
+
+    def test_total_demand_normalised(self, model):
+        matrix = model.matrix_at(12.0)
+        assert matrix.total_demand() == pytest.approx(100.0)
+
+    def test_diagonal_zero(self, model):
+        matrix = model.matrix_at(0.0)
+        assert np.all(np.diag(matrix.demands) == 0.0)
+
+    def test_large_cities_exchange_most_traffic(self, model):
+        matrix = model.matrix_at(12.0)
+        names = {flow[0] for flow in matrix.top_flows(10)} | {
+            flow[1] for flow in matrix.top_flows(10)
+        }
+        # The biggest flows involve the biggest metros.
+        assert names & {"Tokyo", "Delhi", "Shanghai", "Sao Paulo", "Mexico City"}
+
+    def test_weights_follow_local_time(self, model):
+        # Tokyo (UTC+9) is in its evening peak around 11:00-12:00 UTC and in
+        # the middle of the night around 18:00-19:00 UTC.
+        weights_evening = model.weights_at(11.5)
+        weights_night = model.weights_at(18.5)
+        tokyo = next(i for i, c in enumerate(model.cities) if c.name == "Tokyo")
+        assert weights_evening[tokyo] > weights_night[tokyo]
+
+    def test_offered_load_grid(self, model):
+        grid = LatLonGrid(resolution_deg=5.0)
+        loaded = model.offered_load_by_latitude(12.0, grid)
+        assert loaded.total() == pytest.approx(100.0, rel=1e-6)
+        # The original grid is untouched.
+        assert grid.total() == 0.0

@@ -1,0 +1,64 @@
+"""Integration test of the time-stepped network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.demand.traffic_matrix import City, GravityTrafficModel
+from repro.network.ground_station import GroundStation
+from repro.network.simulation import NetworkSimulator
+from repro.network.topology import ConstellationTopology
+
+
+@pytest.fixture(scope="module")
+def simulator(epoch) -> NetworkSimulator:
+    wd = WalkerDelta(
+        altitude_km=560.0, inclination_deg=65.0, total_satellites=240, planes=12, phasing=1
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    planes = [elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)]
+    topology = ConstellationTopology(planes=planes, epoch=epoch)
+
+    cities = (
+        City("London", 51.5, -0.1, 9.6),
+        City("New York", 40.7, -74.0, 20.0),
+        City("Tokyo", 35.7, 139.7, 37.0),
+        City("Sao Paulo", -23.6, -46.6, 22.0),
+    )
+    stations = [GroundStation(c.name, c.latitude_deg, c.longitude_deg) for c in cities]
+    model = GravityTrafficModel(cities=cities, total_demand=40.0)
+    return NetworkSimulator(
+        topology=topology, ground_stations=stations, traffic_model=model, flows_per_step=12
+    )
+
+
+class TestNetworkSimulator:
+    def test_run_produces_steps(self, simulator, epoch):
+        result = simulator.run(epoch, duration_hours=3.0, step_hours=1.0)
+        assert len(result.steps) == 3
+
+    def test_statistics_are_sane(self, simulator, epoch):
+        result = simulator.run(epoch, duration_hours=2.0, step_hours=1.0)
+        for step in result.steps:
+            assert step.offered_gbps > 0.0
+            assert 0.0 <= step.reachable_fraction <= 1.0
+            assert 0.0 <= step.delivery_ratio <= 1.0 + 1e-9
+            assert step.worst_link_utilisation <= 1.0 + 1e-9
+        assert 0.0 <= result.mean_delivery_ratio() <= 1.0 + 1e-9
+
+    def test_latency_reasonable_when_reachable(self, simulator, epoch):
+        result = simulator.run(epoch, duration_hours=2.0, step_hours=1.0)
+        latency = result.mean_latency_ms()
+        if latency == latency:  # not NaN: at least one reachable pair
+            assert 5.0 <= latency <= 400.0
+
+    def test_worst_step_identified(self, simulator, epoch):
+        result = simulator.run(epoch, duration_hours=2.0, step_hours=1.0)
+        worst = result.worst_step()
+        assert worst.delivery_ratio <= result.mean_delivery_ratio() + 1e-9
+
+    def test_validation(self, simulator, epoch):
+        with pytest.raises(ValueError):
+            simulator.run(epoch, duration_hours=0.0)

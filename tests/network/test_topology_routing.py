@@ -1,0 +1,104 @@
+"""Tests of topology construction and routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.network.ground_station import GroundStation
+from repro.network.routing import RouteResult, SnapshotRouter, TimeAwareRouter
+from repro.network.topology import ConstellationTopology
+
+
+@pytest.fixture(scope="module")
+def walker_topology(epoch) -> ConstellationTopology:
+    wd = WalkerDelta(
+        altitude_km=560.0, inclination_deg=65.0, total_satellites=200, planes=10, phasing=1
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    planes = [elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)]
+    return ConstellationTopology(planes=planes, epoch=epoch)
+
+
+@pytest.fixture(scope="module")
+def stations() -> list[GroundStation]:
+    return [
+        GroundStation("London", 51.5, -0.1),
+        GroundStation("New York", 40.7, -74.0),
+        GroundStation("Tokyo", 35.7, 139.7),
+    ]
+
+
+class TestTopology:
+    def test_node_count(self, walker_topology):
+        assert walker_topology.satellite_count == 200
+        assert walker_topology.plane_count == 10
+
+    def test_requires_non_empty_planes(self, epoch):
+        with pytest.raises(ValueError):
+            ConstellationTopology(planes=[[]], epoch=epoch)
+
+    def test_snapshot_graph_basics(self, walker_topology, stations):
+        graph = walker_topology.snapshot_graph(ground_stations=stations)
+        satellite_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "satellite"]
+        ground_nodes = [n for n, d in graph.nodes(data=True) if d["kind"] == "ground"]
+        assert len(satellite_nodes) == 200
+        assert len(ground_nodes) == 3
+        # +Grid: every satellite has at least its two intra-plane neighbours.
+        degrees = [graph.degree(n) for n in satellite_nodes]
+        assert min(degrees) >= 2
+
+    def test_edges_have_attributes(self, walker_topology):
+        graph = walker_topology.snapshot_graph()
+        for _, _, data in list(graph.edges(data=True))[:20]:
+            assert data["distance_km"] > 0
+            assert data["delay_ms"] > 0
+            assert data["capacity_gbps"] > 0
+
+    def test_ground_stations_connected(self, walker_topology, stations):
+        graph = walker_topology.snapshot_graph(ground_stations=stations)
+        for station in stations:
+            assert graph.degree(f"gs:{station.name}") >= 1
+
+
+class TestRouting:
+    def test_route_between_stations(self, walker_topology, stations):
+        graph = walker_topology.snapshot_graph(ground_stations=stations)
+        router = SnapshotRouter(graph)
+        result = router.route_between_stations(stations[0], stations[1])
+        assert result.reachable
+        assert result.hop_count >= 2
+        # London-New York over LEO: a few tens of milliseconds one way.
+        assert 15.0 <= result.latency_ms <= 120.0
+
+    def test_latency_at_least_geodesic(self, walker_topology, stations):
+        graph = walker_topology.snapshot_graph(ground_stations=stations)
+        router = SnapshotRouter(graph)
+        result = router.route_between_stations(stations[0], stations[2])
+        # Great-circle London-Tokyo is ~9600 km -> >= 32 ms at light speed.
+        assert result.latency_ms >= 30.0
+
+    def test_unknown_node_unreachable(self, walker_topology):
+        graph = walker_topology.snapshot_graph()
+        router = SnapshotRouter(graph)
+        result = router.route("gs:Nowhere", 0)
+        assert not result.reachable
+        assert result == RouteResult.unreachable()
+
+    def test_time_aware_router_availability(self, walker_topology, stations, epoch):
+        router = TimeAwareRouter(
+            topology=walker_topology, ground_stations=stations, step_s=300.0
+        )
+        results = router.route_over_time(stations[0], stations[1], epoch, duration_s=900.0)
+        assert len(results) == 3
+        availability = TimeAwareRouter.availability(results)
+        assert 0.0 <= availability <= 1.0
+        assert TimeAwareRouter.path_changes(results) >= 0
+
+    def test_time_aware_router_validation(self, walker_topology, stations, epoch):
+        router = TimeAwareRouter(topology=walker_topology, ground_stations=stations)
+        with pytest.raises(ValueError):
+            router.snapshots(epoch, duration_s=0.0)
+        with pytest.raises(ValueError):
+            TimeAwareRouter.availability([])

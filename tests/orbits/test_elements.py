@@ -1,0 +1,87 @@
+"""Tests of orbital-element construction and derived quantities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import EARTH_RADIUS_KM, MU_EARTH
+from repro.orbits.elements import (
+    OrbitalElements,
+    mean_motion_rad_s,
+    period_s,
+    semi_major_axis_from_period,
+)
+
+
+class TestHelpers:
+    def test_mean_motion_matches_keplers_third_law(self):
+        a = 7000.0
+        n = mean_motion_rad_s(a)
+        assert n**2 * a**3 == pytest.approx(MU_EARTH)
+
+    def test_iss_period(self):
+        # ~420 km altitude gives a ~93 minute period.
+        assert period_s(EARTH_RADIUS_KM + 420.0) / 60.0 == pytest.approx(92.8, abs=0.5)
+
+    def test_geostationary_semi_major_axis(self):
+        a = semi_major_axis_from_period(86164.0905)
+        assert a == pytest.approx(42164.0, abs=5.0)
+
+    @given(st.floats(min_value=6600.0, max_value=45000.0))
+    def test_period_round_trip(self, a):
+        assert semi_major_axis_from_period(period_s(a)) == pytest.approx(a, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mean_motion_rad_s(0.0)
+        with pytest.raises(ValueError):
+            semi_major_axis_from_period(-1.0)
+
+
+class TestOrbitalElements:
+    def test_circular_constructor(self):
+        elements = OrbitalElements.circular(560.0, 97.6, raan_deg=45.0, true_anomaly_deg=90.0)
+        assert elements.altitude_km == pytest.approx(560.0)
+        assert elements.inclination_deg == pytest.approx(97.6)
+        assert elements.raan_deg == pytest.approx(45.0)
+        assert elements.eccentricity == 0.0
+
+    def test_retrograde_flag(self):
+        assert OrbitalElements.circular(560.0, 97.6).is_retrograde
+        assert not OrbitalElements.circular(560.0, 65.0).is_retrograde
+
+    def test_semi_latus_rectum(self):
+        elements = OrbitalElements(semi_major_axis_km=8000.0, eccentricity=0.1)
+        assert elements.semi_latus_rectum_km == pytest.approx(8000.0 * (1 - 0.01))
+
+    def test_rejects_subsurface_perigee(self):
+        with pytest.raises(ValueError):
+            OrbitalElements(semi_major_axis_km=6000.0)
+        with pytest.raises(ValueError):
+            OrbitalElements(semi_major_axis_km=7000.0, eccentricity=0.5)
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(ValueError):
+            OrbitalElements(semi_major_axis_km=8000.0, eccentricity=1.2)
+
+    def test_with_raan_wraps(self):
+        elements = OrbitalElements.circular(560.0, 65.0)
+        updated = elements.with_raan(3.0 * math.pi)
+        assert updated.raan_rad == pytest.approx(math.pi)
+        # Original is unchanged (frozen dataclass semantics).
+        assert elements.raan_rad == 0.0
+
+    def test_with_true_anomaly(self):
+        elements = OrbitalElements.circular(560.0, 65.0)
+        assert elements.with_true_anomaly(-math.pi / 2).true_anomaly_rad == pytest.approx(
+            1.5 * math.pi
+        )
+
+    @given(st.floats(min_value=200.0, max_value=2000.0))
+    def test_period_increases_with_altitude(self, altitude):
+        low = OrbitalElements.circular(altitude, 53.0)
+        high = OrbitalElements.circular(altitude + 100.0, 53.0)
+        assert high.period_s > low.period_s

@@ -1,0 +1,78 @@
+"""Tests of Kepler's equation and anomaly conversions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.kepler import (
+    eccentric_to_mean_anomaly,
+    eccentric_to_true_anomaly,
+    mean_to_true_anomaly,
+    solve_kepler,
+    true_to_eccentric_anomaly,
+    true_to_mean_anomaly,
+)
+
+
+class TestSolveKepler:
+    def test_circular_orbit_identity(self):
+        for mean in (0.0, 1.0, math.pi, 5.0):
+            assert solve_kepler(mean, 0.0) == mean
+
+    def test_satisfies_keplers_equation(self):
+        eccentric = solve_kepler(1.2, 0.4)
+        assert eccentric - 0.4 * math.sin(eccentric) == pytest.approx(1.2, abs=1e-10)
+
+    def test_half_orbit(self):
+        # At M = pi the eccentric anomaly is also pi for any eccentricity.
+        assert solve_kepler(math.pi, 0.7) == pytest.approx(math.pi)
+
+    def test_invalid_eccentricity(self):
+        with pytest.raises(ValueError):
+            solve_kepler(1.0, 1.0)
+        with pytest.raises(ValueError):
+            solve_kepler(1.0, -0.1)
+
+    @given(
+        st.floats(min_value=-20.0, max_value=20.0),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_round_trip_mean_anomaly(self, mean, eccentricity):
+        eccentric = solve_kepler(mean, eccentricity)
+        assert eccentric_to_mean_anomaly(eccentric, eccentricity) == pytest.approx(
+            mean, abs=1e-8
+        )
+
+
+class TestAnomalyConversions:
+    @given(
+        st.floats(min_value=-10.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_true_eccentric_round_trip(self, true_anomaly, eccentricity):
+        eccentric = true_to_eccentric_anomaly(true_anomaly, eccentricity)
+        recovered = eccentric_to_true_anomaly(eccentric, eccentricity)
+        assert recovered == pytest.approx(true_anomaly, abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.0, max_value=2.0 * math.pi),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_mean_true_round_trip(self, mean, eccentricity):
+        true_anomaly = mean_to_true_anomaly(mean, eccentricity)
+        assert true_to_mean_anomaly(true_anomaly, eccentricity) == pytest.approx(
+            mean, abs=1e-8
+        )
+
+    def test_true_anomaly_leads_mean_before_apoapsis(self):
+        # For an eccentric orbit the true anomaly runs ahead of the mean
+        # anomaly between periapsis and apoapsis.
+        mean = 1.0
+        assert mean_to_true_anomaly(mean, 0.3) > mean
+
+    def test_zero_stays_zero(self):
+        assert mean_to_true_anomaly(0.0, 0.5) == pytest.approx(0.0)
+        assert true_to_mean_anomaly(0.0, 0.5) == pytest.approx(0.0)

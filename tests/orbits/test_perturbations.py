@@ -1,0 +1,74 @@
+"""Tests of the secular J2 drift rates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM, SUN_SYNC_PRECESSION_RATE
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.perturbations import (
+    arg_perigee_drift_rate,
+    j2_secular_rates,
+    nodal_day_s,
+    nodal_period_s,
+    raan_drift_rate,
+)
+
+
+class TestRaanDrift:
+    def test_prograde_orbits_regress_westward(self):
+        a = EARTH_RADIUS_KM + 560.0
+        assert raan_drift_rate(a, 0.0, math.radians(53.0)) < 0.0
+
+    def test_retrograde_orbits_precess_eastward(self):
+        a = EARTH_RADIUS_KM + 560.0
+        assert raan_drift_rate(a, 0.0, math.radians(97.6)) > 0.0
+
+    def test_polar_orbit_has_no_drift(self):
+        a = EARTH_RADIUS_KM + 560.0
+        assert raan_drift_rate(a, 0.0, math.pi / 2.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_starlink_magnitude(self):
+        # A 550 km, 53 degree orbit regresses at roughly -4.5 degrees per day.
+        a = EARTH_RADIUS_KM + 550.0
+        per_day = math.degrees(raan_drift_rate(a, 0.0, math.radians(53.0))) * 86400.0
+        assert per_day == pytest.approx(-4.5, abs=0.3)
+
+    def test_sun_synchronous_at_97_6_degrees(self):
+        a = EARTH_RADIUS_KM + 560.0
+        rate = raan_drift_rate(a, 0.0, math.radians(97.63))
+        assert rate == pytest.approx(SUN_SYNC_PRECESSION_RATE, rel=0.01)
+
+
+class TestOtherRates:
+    def test_apsidal_rotation_vanishes_at_critical_inclination(self):
+        a = EARTH_RADIUS_KM + 800.0
+        critical = math.radians(63.4349)
+        assert arg_perigee_drift_rate(a, 0.1, critical) == pytest.approx(0.0, abs=1e-10)
+
+    def test_nodal_period_close_to_keplerian(self):
+        elements = OrbitalElements.circular(560.0, 65.0)
+        keplerian = elements.period_s
+        nodal = nodal_period_s(elements.semi_major_axis_km, 0.0, elements.inclination_rad)
+        assert abs(nodal - keplerian) / keplerian < 0.01
+
+    def test_nodal_day_longer_than_sidereal_for_prograde(self):
+        # A prograde orbit's plane regresses westward, so the Earth takes
+        # slightly less than a sidereal day to rotate once relative to it.
+        a = EARTH_RADIUS_KM + 560.0
+        assert nodal_day_s(a, 0.0, math.radians(65.0)) < 86164.1
+
+    def test_nodal_day_for_sun_synchronous_is_solar_day(self):
+        a = EARTH_RADIUS_KM + 560.0
+        day = nodal_day_s(a, 0.0, math.radians(97.63))
+        assert day == pytest.approx(86400.0, abs=30.0)
+
+    def test_bundle_matches_individual_rates(self):
+        elements = OrbitalElements.circular(700.0, 70.0)
+        rates = j2_secular_rates(elements)
+        assert rates.raan_rate == pytest.approx(
+            raan_drift_rate(elements.semi_major_axis_km, 0.0, elements.inclination_rad)
+        )
+        assert rates.mean_anomaly_rate > 0.0

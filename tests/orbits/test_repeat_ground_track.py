@@ -1,0 +1,87 @@
+"""Tests of repeat-ground-track orbit design."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orbits.perturbations import nodal_day_s, nodal_period_s
+from repro.orbits.repeat_ground_track import (
+    enumerate_leo_repeat_ground_tracks,
+    repeat_ground_track_altitude_km,
+    revolutions_per_day,
+)
+
+
+class TestAltitudeSolver:
+    def test_15_to_1_near_550_km(self):
+        # A 15 revolutions-per-day repeat at 65 degrees sits near 510-560 km
+        # (the paper's Figure 2 example orbit).
+        altitude = repeat_ground_track_altitude_km(15, 1, 65.0)
+        assert 480.0 <= altitude <= 580.0
+
+    def test_13_to_1_near_1215_km(self):
+        # The paper quotes the 1215 km RGT explicitly in Section 2.2.
+        altitude = repeat_ground_track_altitude_km(13, 1, 65.0)
+        assert altitude == pytest.approx(1215.0, abs=10.0)
+
+    def test_repeat_condition_holds(self):
+        revolutions, days, inclination = 14, 1, 65.0
+        altitude = repeat_ground_track_altitude_km(revolutions, days, inclination)
+        from repro.constants import EARTH_RADIUS_KM
+        import math
+
+        a = EARTH_RADIUS_KM + altitude
+        i = math.radians(inclination)
+        assert revolutions * nodal_period_s(a, 0.0, i) == pytest.approx(
+            days * nodal_day_s(a, 0.0, i), rel=1e-9
+        )
+
+    def test_higher_revolution_count_is_lower(self):
+        assert repeat_ground_track_altitude_km(15, 1, 65.0) < repeat_ground_track_altitude_km(
+            13, 1, 65.0
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            repeat_ground_track_altitude_km(0, 1, 65.0)
+        with pytest.raises(ValueError):
+            repeat_ground_track_altitude_km(40, 1, 65.0)  # would be far below LEO
+
+
+class TestEnumeration:
+    def test_one_day_tracks_at_65_degrees(self):
+        tracks = enumerate_leo_repeat_ground_tracks(65.0, 400.0, 2000.0)
+        revolutions = sorted(track.revolutions for track in tracks)
+        assert revolutions == [12, 13, 14, 15]
+
+    def test_tracks_sorted_by_altitude(self):
+        tracks = enumerate_leo_repeat_ground_tracks(65.0, 400.0, 2000.0)
+        altitudes = [track.altitude_km for track in tracks]
+        assert altitudes == sorted(altitudes)
+
+    def test_multi_day_tracks_are_coprime(self):
+        import math
+
+        tracks = enumerate_leo_repeat_ground_tracks(65.0, 400.0, 1200.0, max_days=3)
+        assert all(math.gcd(track.revolutions, track.days) == 1 for track in tracks)
+        assert any(track.days > 1 for track in tracks)
+
+    def test_pass_spacing(self):
+        tracks = enumerate_leo_repeat_ground_tracks(65.0, 400.0, 2000.0)
+        for track in tracks:
+            assert track.equatorial_pass_spacing_rad == pytest.approx(
+                2.0 * 3.141592653589793 / track.revolutions
+            )
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            enumerate_leo_repeat_ground_tracks(65.0, 1000.0, 500.0)
+
+
+class TestRevolutionsPerDay:
+    def test_leo_range(self):
+        assert 15.5 > revolutions_per_day(560.0, 65.0) > 14.5
+        assert 13.5 > revolutions_per_day(1215.0, 65.0) > 12.5
+
+    def test_decreases_with_altitude(self):
+        assert revolutions_per_day(500.0, 65.0) > revolutions_per_day(1500.0, 65.0)

@@ -1,0 +1,76 @@
+"""Tests of sun-synchronous orbit design."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.sunsync import (
+    SunSynchronousOrbit,
+    is_sun_synchronous,
+    sun_synchronous_altitude_km,
+    sun_synchronous_inclination_deg,
+    sun_synchronous_inclination_rad,
+)
+
+
+class TestSSInclination:
+    def test_560_km_value(self):
+        # The textbook value for ~560 km is about 97.6 degrees.
+        assert sun_synchronous_inclination_deg(560.0) == pytest.approx(97.6, abs=0.1)
+
+    def test_800_km_value(self):
+        assert sun_synchronous_inclination_deg(800.0) == pytest.approx(98.6, abs=0.1)
+
+    def test_always_retrograde(self):
+        for altitude in (300.0, 700.0, 1200.0, 2000.0):
+            assert sun_synchronous_inclination_deg(altitude) > 90.0
+
+    def test_inclination_increases_with_altitude(self):
+        assert sun_synchronous_inclination_deg(1400.0) > sun_synchronous_inclination_deg(500.0)
+
+    def test_too_high_altitude_raises(self):
+        with pytest.raises(ValueError):
+            sun_synchronous_inclination_rad(8000.0)
+
+    @given(st.floats(min_value=250.0, max_value=2500.0))
+    @settings(max_examples=25)
+    def test_altitude_inclination_round_trip(self, altitude):
+        inclination = sun_synchronous_inclination_rad(altitude)
+        assert sun_synchronous_altitude_km(inclination) == pytest.approx(altitude, abs=0.1)
+
+    def test_elements_flagged_sun_synchronous(self):
+        elements = OrbitalElements.circular(560.0, sun_synchronous_inclination_deg(560.0))
+        assert is_sun_synchronous(elements)
+        assert not is_sun_synchronous(OrbitalElements.circular(560.0, 65.0))
+
+    def test_altitude_solver_rejects_prograde(self):
+        with pytest.raises(ValueError):
+            sun_synchronous_altitude_km(math.radians(65.0))
+
+
+class TestSunSynchronousOrbit:
+    def test_ltan_validation(self):
+        with pytest.raises(ValueError):
+            SunSynchronousOrbit(altitude_km=560.0, ltan_hours=24.5)
+
+    def test_descending_node_is_opposite(self):
+        orbit = SunSynchronousOrbit(altitude_km=560.0, ltan_hours=10.5)
+        assert orbit.ltdn_hours == pytest.approx(22.5)
+
+    def test_elements_inclination(self):
+        orbit = SunSynchronousOrbit(altitude_km=560.0, ltan_hours=12.0)
+        elements = orbit.to_elements()
+        assert elements.inclination_deg == pytest.approx(orbit.inclination_deg)
+        assert elements.altitude_km == pytest.approx(560.0)
+
+    def test_noon_ltan_with_sun_at_zero_ra_gives_zero_raan(self):
+        orbit = SunSynchronousOrbit(altitude_km=560.0, ltan_hours=12.0)
+        assert orbit.to_elements(sun_right_ascension_rad=0.0).raan_rad == pytest.approx(0.0)
+
+    def test_ltan_offsets_raan_linearly(self):
+        six_am = SunSynchronousOrbit(altitude_km=560.0, ltan_hours=6.0).to_elements()
+        assert six_am.raan_rad == pytest.approx(1.5 * math.pi)

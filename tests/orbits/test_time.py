@@ -1,0 +1,77 @@
+"""Tests of Julian dates, epochs and sidereal time."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import JD_J2000, SOLAR_DAY_S
+from repro.orbits.time import Epoch, J2000, gmst_rad, julian_date
+
+
+class TestJulianDate:
+    def test_j2000_reference(self):
+        assert julian_date(2000, 1, 1, 12) == pytest.approx(JD_J2000)
+
+    def test_unix_epoch(self):
+        assert julian_date(1970, 1, 1, 0) == pytest.approx(2440587.5)
+
+    def test_day_fraction(self):
+        midnight = julian_date(2025, 6, 1, 0)
+        noon = julian_date(2025, 6, 1, 12)
+        assert noon - midnight == pytest.approx(0.5)
+
+    def test_known_date(self):
+        # 2025-03-20 12:00 UT (from the Astronomical Almanac day-number tables).
+        assert julian_date(2025, 3, 20, 12) == pytest.approx(2460755.0)
+
+
+class TestEpoch:
+    def test_add_seconds_round_trip(self):
+        epoch = Epoch.from_calendar(2025, 1, 1)
+        later = epoch.add_seconds(3600.0)
+        assert later.seconds_since(epoch) == pytest.approx(3600.0)
+
+    def test_add_days(self):
+        epoch = Epoch.from_calendar(2025, 1, 1)
+        assert epoch.add_days(2.5).jd == pytest.approx(epoch.jd + 2.5)
+
+    def test_days_since_j2000(self):
+        assert J2000.days_since_j2000() == 0.0
+        assert Epoch(JD_J2000 + 36525.0).centuries_since_j2000() == pytest.approx(1.0)
+
+    def test_fraction_of_day(self):
+        epoch = Epoch.from_calendar(2025, 5, 17, 6, 0, 0.0)
+        assert epoch.fraction_of_day() == pytest.approx(0.25)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_seconds_since_is_inverse_of_add_seconds(self, seconds):
+        epoch = Epoch.from_calendar(2025, 1, 1)
+        assert epoch.add_seconds(seconds).seconds_since(epoch) == pytest.approx(
+            seconds, abs=1e-3
+        )
+
+
+class TestGMST:
+    def test_range(self):
+        for day in range(0, 400, 37):
+            value = gmst_rad(Epoch(JD_J2000 + day))
+            assert 0.0 <= value < 2.0 * math.pi
+
+    def test_advances_faster_than_solar_time(self):
+        # Sidereal time gains ~3.94 minutes per solar day: after exactly one
+        # solar day GMST should have advanced by ~0.9856 degrees more than a
+        # full turn.
+        epoch = Epoch.from_calendar(2025, 4, 1, 0)
+        delta = gmst_rad(epoch.add_seconds(SOLAR_DAY_S)) - gmst_rad(epoch)
+        delta = delta % (2.0 * math.pi)
+        assert math.degrees(delta) == pytest.approx(0.9856, abs=0.01)
+
+    def test_j2000_value(self):
+        # GMST at the J2000 epoch is about 280.46 degrees.
+        assert math.degrees(gmst_rad(J2000)) == pytest.approx(280.46, abs=0.1)
+
+    def test_accepts_raw_julian_date(self):
+        assert gmst_rad(JD_J2000) == pytest.approx(gmst_rad(J2000))

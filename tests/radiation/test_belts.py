@@ -1,0 +1,97 @@
+"""Tests of the parametric Van Allen belt flux model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.orbits.frames import geodetic_to_ecef
+from repro.radiation.belts import BeltComponent, TrappedParticleModel
+
+
+def _position(lat_deg: float, lon_deg: float, altitude_km: float = 560.0) -> np.ndarray:
+    return geodetic_to_ecef(math.radians(lat_deg), math.radians(lon_deg), altitude_km)
+
+
+class TestBeltComponent:
+    def test_profile_peaks_at_centre(self):
+        component = BeltComponent(amplitude=1.0, l_centre=1.5, l_width=0.3, cutoff_exponent=1.0)
+        assert component.profile(np.array([1.5]))[0] == pytest.approx(1.0)
+        assert component.profile(np.array([2.5]))[0] < 0.01
+
+
+class TestFluxStructure:
+    def test_non_negative_everywhere(self, radiation_model):
+        rng = np.random.default_rng(1)
+        lats = rng.uniform(-85.0, 85.0, size=50)
+        lons = rng.uniform(-180.0, 180.0, size=50)
+        positions = np.stack([_position(lat, lon) for lat, lon in zip(lats, lons)])
+        assert np.all(radiation_model.electron_flux(positions) >= 0.0)
+        assert np.all(radiation_model.proton_flux(positions) >= 0.0)
+
+    def test_saa_proton_hotspot(self, radiation_model):
+        # Protons over the South Atlantic anomaly exceed those at the same
+        # latitude over the Pacific by a large factor.
+        saa = float(radiation_model.proton_flux(_position(-10.0, -45.0))[0])
+        pacific = float(radiation_model.proton_flux(_position(-10.0, 170.0))[0])
+        assert saa > 5.0 * max(pacific, 1e-9)
+
+    def test_outer_belt_horns_present(self, radiation_model):
+        # Electron flux at ~60 degrees latitude (the horns) exceeds the flux
+        # at mid latitudes away from the SAA.
+        horn = float(radiation_model.electron_flux(_position(60.0, 60.0))[0])
+        quiet = float(radiation_model.electron_flux(_position(35.0, 150.0))[0])
+        assert horn > quiet
+
+    def test_electron_flux_has_southern_horn_too(self, radiation_model):
+        southern = max(
+            float(radiation_model.electron_flux(_position(-60.0, lon))[0])
+            for lon in range(-180, 180, 30)
+        )
+        northern = max(
+            float(radiation_model.electron_flux(_position(60.0, lon))[0])
+            for lon in range(-180, 180, 30)
+        )
+        assert southern > 0.0 and northern > 0.0
+        assert 0.2 < southern / northern < 5.0
+
+    def test_flux_decays_far_above_belts_reach(self, radiation_model):
+        # At the same geographic point, a much higher altitude on the same
+        # field line family sees different (generally larger L) conditions --
+        # but far outside the belts (here 25000 km near the equator) electron
+        # flux should be tiny compared with the SAA at LEO.
+        leo_saa = float(radiation_model.electron_flux(_position(-10.0, -45.0, 560.0))[0])
+        far = float(radiation_model.electron_flux(_position(0.0, -45.0, 25000.0))[0])
+        assert far < leo_saa
+
+    def test_solar_modulation_scales_outer_belt(self, radiation_model):
+        horn = _position(62.0, 30.0)
+        quiet_sun = float(radiation_model.electron_flux(horn, solar_modulation=0.6)[0])
+        active_sun = float(radiation_model.electron_flux(horn, solar_modulation=1.8)[0])
+        assert active_sun > quiet_sun
+
+    def test_species_dispatch(self, radiation_model):
+        position = _position(-20.0, -50.0)
+        assert radiation_model.flux("electron", position)[0] == pytest.approx(
+            radiation_model.electron_flux(position)[0]
+        )
+        assert radiation_model.flux("proton", position)[0] == pytest.approx(
+            radiation_model.proton_flux(position)[0]
+        )
+        with pytest.raises(ValueError):
+            radiation_model.flux("muon", position)
+
+    def test_custom_components(self):
+        model = TrappedParticleModel(
+            electron_components=(
+                BeltComponent(amplitude=1e3, l_centre=1.5, l_width=0.3, cutoff_exponent=1.0),
+            ),
+            proton_components=(
+                BeltComponent(amplitude=1e2, l_centre=1.5, l_width=0.3, cutoff_exponent=1.0),
+            ),
+        )
+        flux = model.electron_flux(_position(-15.0, -45.0))
+        assert flux.shape == (1,)
+        assert flux[0] >= 0.0

@@ -1,0 +1,106 @@
+"""Tests of flux maps, the SAA locator and the solar cycle model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radiation.flux_map import FluxMapBuilder, electron_flux_map, proton_flux_map
+from repro.radiation.saa import in_saa, locate_saa
+from repro.radiation.solar_cycle import SOLAR_CYCLE_24, SolarCycle
+
+
+class TestSolarCycle:
+    def test_activity_bounded(self):
+        years = np.linspace(0.0, 11.0, 100)
+        activity = SOLAR_CYCLE_24.activity(years)
+        assert np.all(activity >= 0.0)
+        assert np.all(activity <= 1.0)
+
+    def test_maximum_mid_cycle(self):
+        years = np.linspace(0.0, 11.0, 400)
+        activity = np.asarray(SOLAR_CYCLE_24.activity(years))
+        peak_year = years[int(np.argmax(activity))]
+        assert 3.0 <= peak_year <= 7.0
+
+    def test_modulation_ranges(self):
+        assert SOLAR_CYCLE_24.electron_modulation(0.0) < SOLAR_CYCLE_24.electron_modulation(5.0)
+        assert SOLAR_CYCLE_24.proton_modulation(0.0) > SOLAR_CYCLE_24.proton_modulation(5.0)
+
+    def test_sample_days_deterministic(self):
+        a = SOLAR_CYCLE_24.sample_days(16, seed=3)
+        b = SOLAR_CYCLE_24.sample_days(16, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert np.all((a >= 0.0) & (a <= SOLAR_CYCLE_24.length_years))
+
+    def test_sample_days_validation(self):
+        with pytest.raises(ValueError):
+            SolarCycle().sample_days(0)
+
+
+class TestFluxMaps:
+    @pytest.fixture(scope="class")
+    def electron_map(self):
+        return electron_flux_map(560.0, resolution_deg=4.0, n_days=32)
+
+    def test_map_shape(self, electron_map):
+        assert electron_map.values.shape == (45, 90)
+
+    def test_hottest_cell_in_south_atlantic_sector(self, electron_map):
+        # The electron map's hottest region is where the southern horn dips
+        # towards the South Atlantic Anomaly: southern latitudes, longitudes
+        # between South America and Africa.
+        values = electron_map.values
+        row, col = np.unravel_index(int(np.argmax(values)), values.shape)
+        lat = electron_map.latitudes_deg[row]
+        lon = electron_map.longitudes_deg[col]
+        assert -75.0 <= lat <= 10.0
+        assert -90.0 <= lon <= 30.0
+
+    def test_saa_visible_at_low_latitudes(self, electron_map):
+        # Within the +-30 degree latitude band the maximum must sit over the
+        # South America / South Atlantic sector (the SAA), not the Pacific.
+        lats = electron_map.latitudes_deg
+        lons = electron_map.longitudes_deg
+        band = electron_map.values[np.abs(lats) <= 30.0, :]
+        col = int(np.argmax(band.max(axis=0)))
+        assert -90.0 <= lons[col] <= 20.0
+
+    def test_high_latitude_bands_visible(self, electron_map):
+        lats = electron_map.latitudes_deg
+        band_max = electron_map.values.max(axis=1)
+        horn_north = band_max[(lats > 50.0) & (lats < 70.0)].max()
+        mid_quiet = band_max[(lats > 35.0) & (lats < 45.0)].min()
+        assert horn_north > mid_quiet
+
+    def test_maximum_over_cycle_at_least_snapshot(self):
+        builder = FluxMapBuilder(resolution_deg=6.0)
+        snapshot = builder.snapshot(560.0, "electron")
+        maximum = builder.maximum_over_cycle_sample(560.0, "electron", n_days=32)
+        assert np.all(maximum.values >= snapshot.values * 0.999)
+
+    def test_proton_map_positive_in_saa(self):
+        proton_map = proton_flux_map(560.0, resolution_deg=6.0, n_days=16)
+        assert proton_map.values.max() > 0.0
+
+    def test_unknown_species_rejected(self):
+        builder = FluxMapBuilder(resolution_deg=6.0)
+        with pytest.raises(ValueError):
+            builder.maximum_over_cycle_sample(560.0, "neutrino")
+
+
+class TestSAA:
+    def test_locate_saa_over_south_america(self):
+        region = locate_saa(560.0, resolution_deg=4.0)
+        assert -40.0 <= region.peak_latitude_deg <= 10.0
+        assert -90.0 <= region.peak_longitude_deg <= 10.0
+        assert region.peak_flux > 0.0
+        assert 0.0 < region.area_fraction < 0.5
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            locate_saa(560.0, threshold_fraction=0.0)
+
+    def test_in_saa_classification(self):
+        assert in_saa(-15.0, -45.0, 560.0)
+        assert not in_saa(-15.0, 170.0, 560.0)

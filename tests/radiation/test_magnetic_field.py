@@ -1,0 +1,90 @@
+"""Tests of the offset tilted dipole geomagnetic field model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.orbits.frames import geodetic_to_ecef
+from repro.radiation.magnetic_field import DEFAULT_DIPOLE, DipoleModel
+
+
+def _position(lat_deg: float, lon_deg: float, altitude_km: float) -> np.ndarray:
+    return geodetic_to_ecef(math.radians(lat_deg), math.radians(lon_deg), altitude_km)
+
+
+class TestFieldMagnitude:
+    def test_surface_equatorial_magnitude(self):
+        # The equatorial surface field is ~0.25-0.35 Gauss depending on longitude.
+        values = [
+            float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(0.0, lon, 0.0))[0])
+            for lon in (-120.0, -60.0, 0.0, 60.0, 120.0, 180.0)
+        ]
+        assert min(values) > 0.2
+        assert max(values) < 0.42
+
+    def test_poles_stronger_than_equator(self):
+        polar = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(85.0, 0.0, 0.0))[0])
+        equatorial = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(0.0, 0.0, 0.0))[0])
+        assert polar > 1.5 * equatorial
+
+    def test_decreases_with_altitude(self):
+        low = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(20.0, 30.0, 300.0))[0])
+        high = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(20.0, 30.0, 1500.0))[0])
+        assert high < low
+
+    def test_south_atlantic_weaker_than_west_pacific(self):
+        # The dipole offset makes the field over the South Atlantic anomalously
+        # weak compared with the same latitude over the western Pacific.
+        saa = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(-20.0, -45.0, 560.0))[0])
+        pacific = float(DEFAULT_DIPOLE.field_magnitude_gauss(_position(-20.0, 150.0, 560.0))[0])
+        assert saa < 0.85 * pacific
+
+    def test_vectorised_evaluation(self):
+        positions = np.stack(
+            [_position(lat, 0.0, 560.0) for lat in (-60.0, 0.0, 60.0)]
+        )
+        values = DEFAULT_DIPOLE.field_magnitude_gauss(positions)
+        assert values.shape == (3,)
+
+    def test_dipole_centre_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_DIPOLE.field_magnitude_gauss(DEFAULT_DIPOLE.centre_km)
+
+
+class TestLShell:
+    def test_equatorial_l_close_to_radius(self):
+        # Near the magnetic equator L ~ geocentric distance in Earth radii.
+        centred = DipoleModel(offset_km=0.0, pole_latitude_deg=90.0, pole_longitude_deg=0.0)
+        l_value = float(centred.mcilwain_l(_position(0.0, 0.0, 560.0))[0])
+        assert l_value == pytest.approx((EARTH_RADIUS_KM + 560.0) / EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_l_grows_with_magnetic_latitude(self):
+        centred = DipoleModel(offset_km=0.0, pole_latitude_deg=90.0, pole_longitude_deg=0.0)
+        low = float(centred.mcilwain_l(_position(20.0, 0.0, 560.0))[0])
+        high = float(centred.mcilwain_l(_position(60.0, 0.0, 560.0))[0])
+        assert high > low > 1.0
+
+    def test_high_latitude_reaches_outer_belt_shells(self):
+        l_value = float(DEFAULT_DIPOLE.mcilwain_l(_position(62.0, 20.0, 560.0))[0])
+        assert l_value > 3.0
+
+    def test_b_over_b_equator_at_least_one(self):
+        for lat in (-70.0, -30.0, 0.0, 30.0, 70.0):
+            ratio = float(DEFAULT_DIPOLE.b_over_b_equator(_position(lat, 100.0, 560.0))[0])
+            assert ratio >= 0.99
+
+
+class TestCutoffField:
+    def test_cutoff_above_equatorial_field(self):
+        l_shells = np.array([1.2, 1.5, 3.0, 5.0])
+        cutoff = DEFAULT_DIPOLE.cutoff_field_gauss(l_shells)
+        equatorial = DEFAULT_DIPOLE.equatorial_field_gauss(l_shells)
+        assert np.all(cutoff > equatorial)
+
+    def test_cutoff_monotone_in_l(self):
+        cutoff = DEFAULT_DIPOLE.cutoff_field_gauss(np.array([1.5, 3.0, 6.0]))
+        assert cutoff[0] < cutoff[1] < cutoff[2]

@@ -1,0 +1,126 @@
+"""Cross-cutting property-based tests of core invariants.
+
+These complement the per-module suites with randomized checks (hypothesis) of
+the invariants the design pipeline relies on: footprint geometry, grid
+indexing, demand normalisation, sun-synchronous geometry and the conservation
+properties of the greedy covering step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.coverage.footprint import coverage_half_angle_rad, slant_range_km
+from repro.coverage.grid import LatLocalTimeGrid
+from repro.coverage.walker import WalkerDelta, circular_positions_eci
+from repro.core.ssplane import SSPlane
+from repro.demand.diurnal import DiurnalProfile
+from repro.orbits.sunsync import sun_synchronous_inclination_rad
+
+
+class TestFootprintProperties:
+    @given(
+        st.floats(min_value=300.0, max_value=2000.0),
+        st.floats(min_value=5.0, max_value=60.0),
+    )
+    def test_half_angle_bounded_by_horizon(self, altitude, elevation):
+        half_angle = coverage_half_angle_rad(altitude, elevation)
+        horizon = math.acos(EARTH_RADIUS_KM / (EARTH_RADIUS_KM + altitude))
+        assert 0.0 < half_angle < horizon
+
+    @given(
+        st.floats(min_value=300.0, max_value=2000.0),
+        st.floats(min_value=5.0, max_value=60.0),
+    )
+    def test_slant_range_between_altitude_and_horizon_distance(self, altitude, elevation):
+        slant = slant_range_km(altitude, elevation)
+        horizon_distance = math.sqrt((EARTH_RADIUS_KM + altitude) ** 2 - EARTH_RADIUS_KM**2)
+        assert altitude - 1e-6 <= slant <= horizon_distance + 1e-6
+
+
+class TestGridProperties:
+    @given(
+        st.floats(min_value=-90.0, max_value=90.0),
+        st.floats(min_value=-48.0, max_value=48.0),
+    )
+    def test_lat_time_index_round_trip(self, latitude, local_time):
+        grid = LatLocalTimeGrid(lat_resolution_deg=3.0, time_resolution_hours=1.0)
+        row, col = grid.index_of(latitude, local_time)
+        centre_lat = grid.latitudes_deg[row]
+        centre_time = grid.local_times_hours[col]
+        assert abs(centre_lat - latitude) <= grid.lat_resolution_deg / 2.0 + 1e-9
+        wrapped = abs((local_time % 24.0) - centre_time)
+        assert min(wrapped, 24.0 - wrapped) <= grid.time_resolution_hours / 2.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=4, max_size=4))
+    def test_subtract_clamped_never_negative(self, values):
+        grid = LatLocalTimeGrid(lat_resolution_deg=90.0, time_resolution_hours=12.0)
+        grid.values = np.array(values).reshape(2, 2)
+        grid.subtract_clamped(np.full((2, 2), 10.0))
+        assert np.all(grid.values >= 0.0)
+
+
+class TestDiurnalProperties:
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_profile_periodic(self, hour):
+        profile = DiurnalProfile()
+        assert profile.fraction_of_median(hour) == pytest.approx(
+            profile.fraction_of_median(hour + 24.0), rel=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=10.0, max_value=500.0), min_size=24, max_size=24
+        )
+    )
+    def test_arbitrary_tables_normalise_to_unit_median(self, table):
+        profile = DiurnalProfile(hourly_percent=tuple(table))
+        hours = np.linspace(0.0, 24.0, 960, endpoint=False)
+        assert float(np.median(profile.fraction_of_median(hours))) == pytest.approx(
+            1.0, abs=0.05
+        )
+
+
+class TestOrbitProperties:
+    @given(st.floats(min_value=250.0, max_value=2500.0))
+    @settings(max_examples=20)
+    def test_sun_synchronous_inclination_range(self, altitude):
+        inclination = sun_synchronous_inclination_rad(altitude)
+        assert math.pi / 2.0 < inclination < math.radians(115.0)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=4, max_value=12),
+    )
+    @settings(max_examples=20)
+    def test_walker_positions_on_sphere(self, planes, per_plane):
+        constellation = WalkerDelta(
+            altitude_km=700.0,
+            inclination_deg=60.0,
+            total_satellites=planes * per_plane,
+            planes=planes,
+            phasing=0,
+        )
+        raan, phase = constellation.raan_and_phase_rad()
+        positions = circular_positions_eci(700.0, math.radians(60.0), raan, phase)
+        radii = np.linalg.norm(positions, axis=1)
+        np.testing.assert_allclose(radii, EARTH_RADIUS_KM + 700.0, rtol=1e-12)
+
+
+class TestSSPlaneProperties:
+    @given(st.floats(min_value=0.0, max_value=23.999))
+    @settings(max_examples=20)
+    def test_coverage_mask_contains_node_column(self, ltan):
+        grid = LatLocalTimeGrid(lat_resolution_deg=6.0, time_resolution_hours=2.0)
+        plane = SSPlane(altitude_km=560.0, ltan_hours=ltan, satellite_count=25)
+        mask = plane.coverage_mask(grid)
+        row, col = grid.index_of(0.0, ltan)
+        assert mask[row, col]
+        # The mask is symmetric in demand terms: it always covers some cells
+        # but never the whole grid (an SS-plane is not global coverage).
+        assert 0 < mask.sum() < mask.size
