@@ -33,6 +33,20 @@ def _cell_centres(start: float, stop: float, step: float) -> np.ndarray:
     return start + (np.arange(count) + 0.5) * step
 
 
+def _divides_evenly(span: float, step: float, tol: float = 1e-9) -> bool:
+    """Return whether ``step`` divides ``span`` into a whole number of cells.
+
+    A float-modulo test (``span % step > tol``) wrongly rejects steps like
+    0.1, whose binary representation makes ``180.0 % 0.1`` come out near
+    ``step`` instead of near zero; comparing the step ratio against its
+    nearest integer accepts every evenly dividing resolution.
+    """
+    if step <= 0:
+        return False
+    ratio = span / step
+    return round(ratio) >= 1 and abs(round(ratio) - ratio) < tol
+
+
 @dataclass
 class LatLonGrid:
     """A regular Earth-fixed latitude x longitude grid of scalar values.
@@ -51,7 +65,7 @@ class LatLonGrid:
     values: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        if self.resolution_deg <= 0 or 180.0 % self.resolution_deg > 1e-9:
+        if not _divides_evenly(180.0, self.resolution_deg):
             raise ValueError("resolution must evenly divide 180 degrees")
         shape = (self.n_lat, self.n_lon)
         if self.values is None:
@@ -167,12 +181,9 @@ class LatLocalTimeGrid:
     values: np.ndarray = field(default=None)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
-        if self.lat_resolution_deg <= 0 or 180.0 % self.lat_resolution_deg > 1e-9:
+        if not _divides_evenly(180.0, self.lat_resolution_deg):
             raise ValueError("latitude resolution must evenly divide 180 degrees")
-        if (
-            self.time_resolution_hours <= 0
-            or HOURS_PER_DAY % self.time_resolution_hours > 1e-9
-        ):
+        if not _divides_evenly(HOURS_PER_DAY, self.time_resolution_hours):
             raise ValueError("time resolution must evenly divide 24 hours")
         shape = (self.n_lat, self.n_time)
         if self.values is None:

@@ -70,22 +70,50 @@ def _link_capacities(graph: nx.Graph, flows: list[Flow]) -> dict[tuple, float]:
 
 
 def allocate_proportional(graph: nx.Graph, flows: list[Flow]) -> AllocationResult:
-    """Scale every flow by the same factor so no link exceeds its capacity."""
+    """Scale every flow by the same factor so no link exceeds its capacity.
+
+    Flows routed over a zero-capacity link cannot carry anything: they are
+    allocated zero (rather than dragging every other flow's scale to zero),
+    and the link is reported saturated (utilisation 1.0).
+    """
     capacities = _link_capacities(graph, flows)
-    loads: dict[tuple, float] = {key: 0.0 for key in capacities}
-    for flow in flows:
-        for a, b in flow.links():
-            loads[_link_key(a, b)] += flow.demand_gbps
+
+    def _link_loads(excluded: set[str]) -> dict[tuple, float]:
+        loads = {key: 0.0 for key in capacities}
+        for flow in flows:
+            if flow.name in excluded:
+                continue
+            for a, b in flow.links():
+                loads[_link_key(a, b)] += flow.demand_gbps
+        return loads
+
+    loads = _link_loads(set())
+    starved_links = {
+        key for key, load in loads.items() if capacities[key] <= 0.0 and load > 0.0
+    }
+    starved_flows = {
+        flow.name
+        for flow in flows
+        if any(_link_key(a, b) in starved_links for a, b in flow.links())
+    }
+    if starved_flows:
+        loads = _link_loads(starved_flows)
 
     scale = 1.0
     for key, load in loads.items():
         if load > capacities[key] > 0:
             scale = min(scale, capacities[key] / load)
 
-    allocated = {flow.name: flow.demand_gbps * scale for flow in flows}
+    allocated = {
+        flow.name: 0.0 if flow.name in starved_flows else flow.demand_gbps * scale
+        for flow in flows
+    }
     utilisation = {}
     for key, load in loads.items():
-        utilisation[key] = (load * scale) / capacities[key] if capacities[key] > 0 else 0.0
+        if capacities[key] > 0:
+            utilisation[key] = (load * scale) / capacities[key]
+        else:
+            utilisation[key] = 1.0 if key in starved_links else 0.0
     return AllocationResult(allocated_gbps=allocated, link_utilisation=utilisation)
 
 
@@ -139,5 +167,11 @@ def allocate_max_min(
     utilisation = {}
     for key, capacity in capacities.items():
         load = sum(rates[f.name] for f in flows_by_link[key])
-        utilisation[key] = load / capacity if capacity > 0 else 0.0
+        if capacity > 0:
+            utilisation[key] = load / capacity
+        else:
+            # Same convention as allocate_proportional: a zero-capacity link
+            # with demand trying to cross it is saturated, not idle.
+            demand = sum(f.demand_gbps for f in flows_by_link[key])
+            utilisation[key] = 1.0 if demand > 0 else 0.0
     return AllocationResult(allocated_gbps=rates, link_utilisation=utilisation)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from ..orbits.time import Epoch
+from ..orbits.time import Epoch, step_count
 from .ground_station import GroundStation
 from .topology import ConstellationTopology
 
@@ -67,6 +67,29 @@ class SnapshotRouter:
             reachable=True,
         )
 
+    def routes_from(self, source: int | str) -> dict[int | str, RouteResult]:
+        """Return minimum-delay routes from ``source`` to every reachable node.
+
+        One single-source Dijkstra covers all destinations, so callers that
+        route many flows out of the same node (the simulator's per-station
+        fan-out) pay one search instead of one per flow.  Unreachable nodes
+        are simply absent from the result.
+        """
+        if source not in self.graph:
+            return {}
+        distances, paths = nx.single_source_dijkstra(
+            self.graph, source, weight="delay_ms"
+        )
+        return {
+            destination: RouteResult(
+                path=tuple(path),
+                latency_ms=float(distances[destination]),
+                hop_count=len(path) - 1,
+                reachable=True,
+            )
+            for destination, path in paths.items()
+        }
+
     def route_between_stations(
         self, source: GroundStation, destination: GroundStation
     ) -> RouteResult:
@@ -93,17 +116,20 @@ class TimeAwareRouter:
     step_s: float = 60.0
 
     def snapshots(self, start: Epoch, duration_s: float) -> list[tuple[Epoch, nx.Graph]]:
-        """Return (epoch, graph) snapshots covering ``duration_s`` from ``start``."""
+        """Return (epoch, graph) snapshots covering ``duration_s`` from ``start``.
+
+        The number of snapshots is computed as an exact integer count (so
+        ``duration_s=1.0, step_s=0.1`` yields 10 snapshots, not 11), and the
+        whole sequence shares one batched propagation of the constellation.
+        """
         if duration_s <= 0 or self.step_s <= 0:
             raise ValueError("duration_s and step_s must be positive")
-        result = []
-        elapsed = 0.0
-        while elapsed < duration_s:
-            epoch = start.add_seconds(elapsed)
-            graph = self.topology.snapshot_graph(epoch, self.ground_stations)
-            result.append((epoch, graph))
-            elapsed += self.step_s
-        return result
+        epochs = [
+            start.add_seconds(index * self.step_s)
+            for index in range(step_count(duration_s, self.step_s))
+        ]
+        graphs = self.topology.snapshot_graphs(epochs, self.ground_stations)
+        return list(zip(epochs, graphs))
 
     def route_over_time(
         self,

@@ -6,6 +6,12 @@ gravity-model traffic matrix over it, allocates link capacity, and records
 throughput, latency and reachability statistics.  This is the "new simulation
 methodology" ingredient of the paper's Section 5 agenda: a sun-relative
 spatiotemporal traffic model driving evaluation of a satellite network.
+
+Two batching optimisations keep step cost low: satellite positions for all
+steps come from one vectorised ``(T, N, 3)`` propagation (via
+:meth:`ConstellationTopology.snapshot_graphs`), and routing runs one
+single-source Dijkstra per distinct source ground station instead of one
+shortest-path search per flow.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..demand.traffic_matrix import GravityTrafficModel
-from ..orbits.time import Epoch
+from ..orbits.time import Epoch, step_count
 from .capacity import Flow, allocate_proportional
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
@@ -99,12 +105,12 @@ class NetworkSimulator:
         station_names = {station.name for station in self.ground_stations}
         result = SimulationResult()
 
-        elapsed = 0.0
-        while elapsed < duration_hours:
-            epoch = start.add_seconds(elapsed * 3600.0)
+        steps = step_count(duration_hours, step_hours)
+        epochs = [start.add_seconds(index * step_hours * 3600.0) for index in range(steps)]
+        graphs = self.topology.iter_snapshot_graphs(epochs, self.ground_stations)
+        for index, graph in enumerate(graphs):
+            elapsed = index * step_hours
             utc_hour = (start.fraction_of_day() * 24.0 + elapsed) % 24.0
-            graph = self.topology.snapshot_graph(epoch, self.ground_stations)
-            router = SnapshotRouter(graph)
 
             matrix = self.traffic_model.matrix_at(utc_hour)
             candidate_flows = [
@@ -115,14 +121,21 @@ class NetworkSimulator:
             candidate_flows.sort(key=lambda item: item[2], reverse=True)
             candidate_flows = candidate_flows[: self.flows_per_step]
 
+            # One Dijkstra per distinct source station covers every flow out
+            # of it, instead of one shortest-path search per flow.
+            router = SnapshotRouter(graph)
+            routes_by_source: dict[str, dict] = {}
             flows: list[Flow] = []
             latencies: list[float] = []
             offered = 0.0
             reachable = 0
             for source_name, destination_name, demand in candidate_flows:
                 offered += demand
-                route = router.route(f"gs:{source_name}", f"gs:{destination_name}")
-                if not route.reachable:
+                source = f"gs:{source_name}"
+                if source not in routes_by_source:
+                    routes_by_source[source] = router.routes_from(source)
+                route = routes_by_source[source].get(f"gs:{destination_name}")
+                if route is None:
                     continue
                 reachable += 1
                 latencies.append(route.latency_ms)
@@ -149,7 +162,6 @@ class NetworkSimulator:
                     worst_link_utilisation=worst_util,
                 )
             )
-            elapsed += step_hours
         return result
 
     @staticmethod

@@ -8,6 +8,13 @@ provided for both Walker-delta shells and SS-plane constellations; because an
 SS-plane constellation concentrates its planes around demand-heavy local
 times, its topology is denser in the demand-carrying region -- one of the
 Section 5 implications this layer lets users explore.
+
+Satellite positions come from a :class:`repro.orbits.propagation.BatchPropagator`
+built once at topology construction: every snapshot propagates the whole
+constellation in vectorised array operations instead of one scalar propagator
+per satellite, and :meth:`ConstellationTopology.snapshot_graphs` amortises a
+single ``(T, N, 3)`` propagation across a whole sequence of snapshots -- the
+hot path of time-stepped simulation.
 """
 
 from __future__ import annotations
@@ -19,8 +26,7 @@ import networkx as nx
 import numpy as np
 
 from ..orbits.elements import OrbitalElements
-from ..orbits.frames import eci_to_ecef
-from ..orbits.propagation import J2Propagator
+from ..orbits.propagation import BatchPropagator
 from ..orbits.time import Epoch
 from .ground_station import GroundStation, visible_satellites
 from .isl import ISLConfig, isl_feasible, propagation_delay_ms
@@ -41,6 +47,11 @@ class SatelliteNode:
 @dataclass
 class ConstellationTopology:
     """A constellation arranged in planes, able to produce graph snapshots.
+
+    Treat instances as immutable: the node list and the batch propagator are
+    built once in ``__post_init__``, so mutating ``planes``, ``epoch`` or
+    ``isl_config`` afterwards is silently ignored -- construct a new topology
+    instead.
 
     Attributes
     ----------
@@ -73,6 +84,9 @@ class ConstellationTopology:
                     )
                 )
                 node_id += 1
+        self._batch = BatchPropagator(
+            [node.elements for node in self._nodes], self.epoch
+        )
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -95,12 +109,16 @@ class ConstellationTopology:
 
     def positions_ecef_km(self, at: Epoch | None = None) -> np.ndarray:
         """Return Earth-fixed positions [km] of all satellites at an epoch."""
-        at = at or self.epoch
-        positions = np.empty((self.satellite_count, 3))
-        for node in self._nodes:
-            state = J2Propagator(node.elements, self.epoch).state_at(at)
-            positions[node.node_id] = eci_to_ecef(state.position_km, at)
-        return positions
+        return self._batch.positions_ecef_at(at or self.epoch)
+
+    def positions_ecef_over(self, epochs: list[Epoch]) -> np.ndarray:
+        """Return Earth-fixed positions [km] at every epoch, shape (T, N, 3).
+
+        One vectorised propagation covers the whole sequence; this is what
+        snapshot-sequence consumers (time-aware routing, the simulator)
+        should use instead of calling :meth:`positions_ecef_km` per step.
+        """
+        return self._batch.positions_ecef_many(epochs)
 
     # -- graph construction --------------------------------------------------------
 
@@ -116,7 +134,41 @@ class ConstellationTopology:
         ``capacity_gbps`` attributes.
         """
         at = at or self.epoch
-        positions = self.positions_ecef_km(at)
+        return self._graph_from_positions(self.positions_ecef_km(at), ground_stations)
+
+    def snapshot_graphs(
+        self,
+        epochs: list[Epoch],
+        ground_stations: list[GroundStation] | None = None,
+    ) -> list[nx.Graph]:
+        """Return one snapshot graph per epoch, batching the propagation.
+
+        Equivalent to ``[self.snapshot_graph(at, ground_stations) for at in
+        epochs]`` but computes all satellite positions in a single
+        ``(T, N, 3)`` batch propagation first.
+        """
+        return list(self.iter_snapshot_graphs(epochs, ground_stations))
+
+    def iter_snapshot_graphs(
+        self,
+        epochs: list[Epoch],
+        ground_stations: list[GroundStation] | None = None,
+    ):
+        """Yield one snapshot graph per epoch, batching the propagation.
+
+        Generator form of :meth:`snapshot_graphs`: positions for the whole
+        sequence come from one batch propagation, but graphs are built one at
+        a time, so long simulations never hold every per-step graph at once.
+        """
+        positions = self.positions_ecef_over(epochs)
+        for step_positions in positions:
+            yield self._graph_from_positions(step_positions, ground_stations)
+
+    def _graph_from_positions(
+        self,
+        positions: np.ndarray,
+        ground_stations: list[GroundStation] | None = None,
+    ) -> nx.Graph:
         graph = nx.Graph()
         for node in self._nodes:
             graph.add_node(

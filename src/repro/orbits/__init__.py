@@ -39,7 +39,13 @@ from .perturbations import (
     nodal_period_s,
     raan_drift_rate,
 )
-from .propagation import J2Propagator, StateVector, elements_to_state, sample_positions_eci
+from .propagation import (
+    BatchPropagator,
+    J2Propagator,
+    StateVector,
+    elements_to_state,
+    sample_positions_eci,
+)
 from .repeat_ground_track import (
     RepeatGroundTrack,
     enumerate_leo_repeat_ground_tracks,
@@ -60,7 +66,7 @@ from .sunsync import (
     sun_synchronous_inclination_deg,
     sun_synchronous_inclination_rad,
 )
-from .time import J2000, Epoch, gmst_rad, julian_date
+from .time import J2000, Epoch, gmst_rad, julian_date, step_count
 
 __all__ = [
     "OrbitalElements",
@@ -95,6 +101,7 @@ __all__ = [
     "nodal_day_s",
     "nodal_period_s",
     "raan_drift_rate",
+    "BatchPropagator",
     "J2Propagator",
     "StateVector",
     "elements_to_state",
@@ -116,5 +123,6 @@ __all__ = [
     "J2000",
     "Epoch",
     "gmst_rad",
+    "step_count",
     "julian_date",
 ]

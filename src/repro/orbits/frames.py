@@ -27,6 +27,7 @@ from .sun import solar_right_ascension_rad
 __all__ = [
     "rotation_z",
     "rotation_x",
+    "rotate_rows_about_z",
     "eci_to_ecef",
     "ecef_to_eci",
     "ecef_to_geodetic",
@@ -52,16 +53,47 @@ def rotation_x(angle_rad: float) -> np.ndarray:
     return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
 
 
-def eci_to_ecef(position_eci: np.ndarray, epoch: Epoch) -> np.ndarray:
-    """Rotate an ECI position (km) into the Earth-fixed frame at ``epoch``."""
-    theta = gmst_rad(epoch)
-    return np.asarray(position_eci) @ rotation_z(theta)  # R(-theta) applied to rows
+def rotate_rows_about_z(positions: np.ndarray, theta) -> np.ndarray:
+    """Apply ``R(-theta)`` to the row vectors of ``positions``.
+
+    ``theta`` may be a scalar (rotating every row by the same angle) or an
+    array whose shape matches the leading axes of ``positions`` -- e.g. one
+    angle per epoch for a ``(T, N, 3)`` trajectory stack.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if np.ndim(theta) == 0:
+        return positions @ rotation_z(float(theta))
+    theta = np.asarray(theta, dtype=float)
+    if positions.ndim - 1 < theta.ndim or positions.shape[: theta.ndim] != theta.shape:
+        raise ValueError(
+            f"cannot broadcast {theta.shape} epoch angles over positions of "
+            f"shape {positions.shape}"
+        )
+    theta = theta.reshape(theta.shape + (1,) * (positions.ndim - theta.ndim - 1))
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    x = cos_t * positions[..., 0] + sin_t * positions[..., 1]
+    y = -sin_t * positions[..., 0] + cos_t * positions[..., 1]
+    return np.stack([x, y, positions[..., 2]], axis=-1)
 
 
-def ecef_to_eci(position_ecef: np.ndarray, epoch: Epoch) -> np.ndarray:
-    """Rotate an ECEF position (km) into the inertial frame at ``epoch``."""
-    theta = gmst_rad(epoch)
-    return np.asarray(position_ecef) @ rotation_z(-theta)
+def eci_to_ecef(position_eci: np.ndarray, epoch: Epoch | np.ndarray) -> np.ndarray:
+    """Rotate ECI positions (km) into the Earth-fixed frame at ``epoch``.
+
+    ``epoch`` may be a single :class:`Epoch` (positions of any shape
+    ``(..., 3)`` all rotate by the same sidereal angle) or an array of Julian
+    dates whose length matches the leading axis of ``position_eci`` -- the
+    vectorised form used for ``(T, N, 3)`` trajectory stacks, where each time
+    slice rotates by its own angle.
+    """
+    return rotate_rows_about_z(position_eci, gmst_rad(epoch))
+
+
+def ecef_to_eci(position_ecef: np.ndarray, epoch: Epoch | np.ndarray) -> np.ndarray:
+    """Rotate ECEF positions (km) into the inertial frame at ``epoch``.
+
+    Accepts the same scalar-or-array ``epoch`` forms as :func:`eci_to_ecef`.
+    """
+    return rotate_rows_about_z(position_ecef, np.negative(gmst_rad(epoch)))
 
 
 def ecef_to_geodetic(position_ecef: np.ndarray) -> tuple[float, float, float]:

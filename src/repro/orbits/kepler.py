@@ -5,6 +5,12 @@ all three anomalies coincide), the propagator supports eccentric orbits, so we
 provide the full set of conversions:
 
     mean anomaly  <-- Kepler's equation -->  eccentric anomaly  <-->  true anomaly
+
+Every conversion accepts either scalars or ``numpy`` arrays (broadcast
+against each other) and returns a float for scalar inputs.  The array path is
+what makes :class:`repro.orbits.propagation.BatchPropagator` possible: one
+Newton iteration advances the eccentric anomalies of a whole constellation at
+every time sample simultaneously.
 """
 
 from __future__ import annotations
@@ -25,33 +31,17 @@ __all__ = [
 
 _MAX_ITERATIONS = 50
 _TOLERANCE = 1e-12
+_TWO_PI = 2.0 * math.pi
 
 
-def solve_kepler(mean_anomaly_rad: float, eccentricity: float) -> float:
-    """Solve Kepler's equation ``M = E - e sin(E)`` for the eccentric anomaly.
+def _is_scalar(*values) -> bool:
+    return all(np.ndim(value) == 0 for value in values)
 
-    Uses Newton-Raphson iteration with the standard starting guess, which
-    converges in a handful of iterations for any elliptical eccentricity.
 
-    Parameters
-    ----------
-    mean_anomaly_rad:
-        Mean anomaly ``M`` in radians (any value; wrapped internally).
-    eccentricity:
-        Orbit eccentricity in [0, 1).
-
-    Returns
-    -------
-    float
-        Eccentric anomaly ``E`` in radians, in the same revolution as ``M``.
-    """
-    if not 0.0 <= eccentricity < 1.0:
-        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
-
+def _solve_kepler_scalar(mean_anomaly_rad: float, eccentricity: float) -> float:
     if eccentricity == 0.0:
         return float(mean_anomaly_rad)
-
-    mean = float(np.mod(mean_anomaly_rad, 2.0 * math.pi))
+    mean = float(np.mod(mean_anomaly_rad, _TWO_PI))
     # Standard initial guess: E0 = M + e*sin(M) works well for all e < 1.
     eccentric = mean + eccentricity * math.sin(mean)
     for _ in range(_MAX_ITERATIONS):
@@ -62,51 +52,106 @@ def solve_kepler(mean_anomaly_rad: float, eccentricity: float) -> float:
         if abs(delta) < _TOLERANCE:
             break
     # Restore the revolution count of the input mean anomaly.
-    revolutions = (mean_anomaly_rad - mean) / (2.0 * math.pi)
-    return eccentric + revolutions * 2.0 * math.pi
+    revolutions = (mean_anomaly_rad - mean) / _TWO_PI
+    return eccentric + revolutions * _TWO_PI
 
 
-def mean_to_eccentric_anomaly(mean_anomaly_rad: float, eccentricity: float) -> float:
+def solve_kepler(mean_anomaly_rad, eccentricity):
+    """Solve Kepler's equation ``M = E - e sin(E)`` for the eccentric anomaly.
+
+    Uses Newton-Raphson iteration with the standard starting guess, which
+    converges in a handful of iterations for any elliptical eccentricity.
+
+    Parameters
+    ----------
+    mean_anomaly_rad:
+        Mean anomaly ``M`` in radians (any value; wrapped internally).  A
+        scalar or an array; arrays are broadcast against ``eccentricity``.
+    eccentricity:
+        Orbit eccentricity in [0, 1); scalar or array.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        Eccentric anomaly ``E`` in radians, in the same revolution as ``M``.
+    """
+    ecc = np.asarray(eccentricity, dtype=float)
+    if np.any((ecc < 0.0) | (ecc >= 1.0)):
+        raise ValueError(f"eccentricity must be in [0, 1), got {eccentricity}")
+
+    if _is_scalar(mean_anomaly_rad, eccentricity):
+        return _solve_kepler_scalar(float(mean_anomaly_rad), float(ecc))
+
+    mean_in = np.asarray(mean_anomaly_rad, dtype=float)
+    mean = np.mod(mean_in, _TWO_PI)
+    eccentric = mean + ecc * np.sin(mean)
+    for _ in range(_MAX_ITERATIONS):
+        residual = eccentric - ecc * np.sin(eccentric) - mean
+        derivative = 1.0 - ecc * np.cos(eccentric)
+        delta = residual / derivative
+        eccentric = eccentric - delta
+        if np.max(np.abs(delta)) < _TOLERANCE:
+            break
+    revolutions = (mean_in - mean) / _TWO_PI
+    result = eccentric + revolutions * _TWO_PI
+    # Circular orbits solve exactly: keep M bit-for-bit like the scalar path.
+    if np.any(ecc == 0.0):
+        result = np.where(ecc == 0.0, mean_in, result)
+    return result
+
+
+def mean_to_eccentric_anomaly(mean_anomaly_rad, eccentricity):
     """Convert mean anomaly to eccentric anomaly (alias of :func:`solve_kepler`)."""
     return solve_kepler(mean_anomaly_rad, eccentricity)
 
 
-def eccentric_to_true_anomaly(eccentric_anomaly_rad: float, eccentricity: float) -> float:
-    """Convert eccentric anomaly to true anomaly, in radians."""
-    half = eccentric_anomaly_rad / 2.0
-    factor = math.sqrt((1.0 + eccentricity) / (1.0 - eccentricity))
-    true = 2.0 * math.atan2(factor * math.sin(half), math.cos(half))
+def eccentric_to_true_anomaly(eccentric_anomaly_rad, eccentricity):
+    """Convert eccentric anomaly to true anomaly, in radians (scalars or arrays)."""
+    scalar = _is_scalar(eccentric_anomaly_rad, eccentricity)
+    eccentric = np.asarray(eccentric_anomaly_rad, dtype=float)
+    ecc = np.asarray(eccentricity, dtype=float)
+    half = eccentric / 2.0
+    factor = np.sqrt((1.0 + ecc) / (1.0 - ecc))
+    true = 2.0 * np.arctan2(factor * np.sin(half), np.cos(half))
     # atan2 folds into (-pi, pi]; restore continuity with the input revolution.
-    return _match_revolution(true, eccentric_anomaly_rad)
+    true = _match_revolution(true, eccentric)
+    return float(true) if scalar else true
 
 
-def true_to_eccentric_anomaly(true_anomaly_rad: float, eccentricity: float) -> float:
-    """Convert true anomaly to eccentric anomaly, in radians."""
-    half = true_anomaly_rad / 2.0
-    factor = math.sqrt((1.0 - eccentricity) / (1.0 + eccentricity))
-    eccentric = 2.0 * math.atan2(factor * math.sin(half), math.cos(half))
-    return _match_revolution(eccentric, true_anomaly_rad)
+def true_to_eccentric_anomaly(true_anomaly_rad, eccentricity):
+    """Convert true anomaly to eccentric anomaly, in radians (scalars or arrays)."""
+    scalar = _is_scalar(true_anomaly_rad, eccentricity)
+    true = np.asarray(true_anomaly_rad, dtype=float)
+    ecc = np.asarray(eccentricity, dtype=float)
+    half = true / 2.0
+    factor = np.sqrt((1.0 - ecc) / (1.0 + ecc))
+    eccentric = 2.0 * np.arctan2(factor * np.sin(half), np.cos(half))
+    eccentric = _match_revolution(eccentric, true)
+    return float(eccentric) if scalar else eccentric
 
 
-def eccentric_to_mean_anomaly(eccentric_anomaly_rad: float, eccentricity: float) -> float:
+def eccentric_to_mean_anomaly(eccentric_anomaly_rad, eccentricity):
     """Convert eccentric anomaly to mean anomaly via Kepler's equation."""
-    return eccentric_anomaly_rad - eccentricity * math.sin(eccentric_anomaly_rad)
+    scalar = _is_scalar(eccentric_anomaly_rad, eccentricity)
+    eccentric = np.asarray(eccentric_anomaly_rad, dtype=float)
+    ecc = np.asarray(eccentricity, dtype=float)
+    mean = eccentric - ecc * np.sin(eccentric)
+    return float(mean) if scalar else mean
 
 
-def mean_to_true_anomaly(mean_anomaly_rad: float, eccentricity: float) -> float:
-    """Convert mean anomaly to true anomaly, in radians."""
+def mean_to_true_anomaly(mean_anomaly_rad, eccentricity):
+    """Convert mean anomaly to true anomaly, in radians (scalars or arrays)."""
     eccentric = solve_kepler(mean_anomaly_rad, eccentricity)
     return eccentric_to_true_anomaly(eccentric, eccentricity)
 
 
-def true_to_mean_anomaly(true_anomaly_rad: float, eccentricity: float) -> float:
-    """Convert true anomaly to mean anomaly, in radians."""
+def true_to_mean_anomaly(true_anomaly_rad, eccentricity):
+    """Convert true anomaly to mean anomaly, in radians (scalars or arrays)."""
     eccentric = true_to_eccentric_anomaly(true_anomaly_rad, eccentricity)
     return eccentric_to_mean_anomaly(eccentric, eccentricity)
 
 
-def _match_revolution(angle_rad: float, reference_rad: float) -> float:
+def _match_revolution(angle_rad, reference_rad):
     """Shift ``angle_rad`` by whole turns so it lies within pi of ``reference_rad``."""
-    two_pi = 2.0 * math.pi
-    turns = round((reference_rad - angle_rad) / two_pi)
-    return angle_rad + turns * two_pi
+    turns = np.round((reference_rad - angle_rad) / _TWO_PI)
+    return angle_rad + turns * _TWO_PI

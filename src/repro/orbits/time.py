@@ -24,6 +24,7 @@ __all__ = [
     "Epoch",
     "julian_date",
     "gmst_rad",
+    "step_count",
     "J2000",
 ]
 
@@ -119,7 +120,7 @@ class Epoch:
 J2000 = Epoch(JD_J2000)
 
 
-def gmst_rad(epoch: Epoch | float) -> float:
+def gmst_rad(epoch: Epoch | float | np.ndarray):
     """Return Greenwich Mean Sidereal Time at ``epoch`` in radians.
 
     Implements the IAU-82 GMST polynomial (Vallado, Eq. 3-47).  The result is
@@ -128,9 +129,11 @@ def gmst_rad(epoch: Epoch | float) -> float:
     Parameters
     ----------
     epoch:
-        Either an :class:`Epoch` or a raw Julian date.
+        An :class:`Epoch`, a raw Julian date, or an array of Julian dates (in
+        which case an array of angles is returned -- the form batch ECI->ECEF
+        conversion uses).
     """
-    jd = epoch.jd if isinstance(epoch, Epoch) else float(epoch)
+    jd = epoch.jd if isinstance(epoch, Epoch) else np.asarray(epoch, dtype=float)
     t = (jd - JD_J2000) / DAYS_PER_JULIAN_CENTURY
     gmst_seconds = (
         67310.54841
@@ -138,5 +141,27 @@ def gmst_rad(epoch: Epoch | float) -> float:
         + 0.093104 * t * t
         - 6.2e-6 * t * t * t
     )
-    gmst = math.radians((gmst_seconds % SOLAR_DAY_S) / 240.0)
-    return float(np.mod(gmst, 2.0 * math.pi))
+    gmst = np.radians(np.mod(gmst_seconds, SOLAR_DAY_S) / 240.0)
+    wrapped = np.mod(gmst, 2.0 * math.pi)
+    return float(wrapped) if np.ndim(wrapped) == 0 else wrapped
+
+
+def step_count(duration: float, step: float) -> int:
+    """Return the number of uniform steps of size ``step`` covering ``duration``.
+
+    Time-stepped loops written as ``while elapsed < duration: elapsed += step``
+    miscount when the float increments under-accumulate (``0.1`` added ten
+    times falls just short of ``1.0``, yielding an eleventh step).  This
+    helper computes the count once: exactly ``duration / step`` steps when the
+    division is (numerically) an integer, the ceiling otherwise, and always at
+    least one step so a positive duration is never skipped.
+    """
+    if duration <= 0 or step <= 0:
+        raise ValueError("duration and step must be positive")
+    ratio = duration / step
+    nearest = round(ratio)
+    if abs(ratio - nearest) < 1e-9 * max(1.0, abs(ratio)):
+        count = int(nearest)
+    else:
+        count = int(math.ceil(ratio))
+    return max(count, 1)

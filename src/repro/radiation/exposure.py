@@ -9,14 +9,15 @@ per-satellite median of whole constellations.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..constants import EARTH_RADIUS_KM, EARTH_ROTATION_RATE, SOLAR_DAY_S
+from ..constants import EARTH_ROTATION_RATE, SOLAR_DAY_S
 from ..orbits.elements import OrbitalElements
-from ..orbits.perturbations import j2_secular_rates
+from ..orbits.frames import rotate_rows_about_z
+from ..orbits.propagation import BatchPropagator
+from ..orbits.time import J2000
 from .belts import TrappedParticleModel, default_radiation_model
 
 __all__ = ["ExposureCalculator", "DailyFluence", "daily_fluence_vs_inclination"]
@@ -45,30 +46,19 @@ def _ecef_positions_over_day(
 ) -> np.ndarray:
     """Return Earth-fixed positions [km] of one satellite sampled over a window.
 
-    Uses the circular-orbit secular-J2 kinematics directly (argument of
-    latitude and RAAN advance linearly) so the whole trajectory is produced
-    with vectorised ``numpy`` operations -- important because exposure
-    calculations sample tens of thousands of points per constellation.
+    The inertial trajectory comes from the vectorised
+    :class:`~repro.orbits.propagation.BatchPropagator` (the same secular-J2
+    model as the scalar reference propagator, including argument-of-perigee
+    drift and the full Kepler solve for eccentric orbits), sampled at every
+    step in one array operation -- important because exposure calculations
+    sample tens of thousands of points per constellation.  The Earth-fixed
+    rotation uses the caller-supplied ``gmst0_rad`` rather than a calendar
+    epoch: daily fluence only cares how passes line up with the (longitude-
+    anchored) belt geometry over a day, not on which date the day starts.
     """
     times = np.arange(0.0, duration_s, step_s)
-    rates = j2_secular_rates(elements)
-    u = elements.true_anomaly_rad + elements.arg_perigee_rad + rates.mean_anomaly_rate * times
-    raan = elements.raan_rad + rates.raan_rate * times
-    inclination = elements.inclination_rad
-    radius = elements.semi_major_axis_km
-
-    cos_u, sin_u = np.cos(u), np.sin(u)
-    cos_raan, sin_raan = np.cos(raan), np.sin(raan)
-    cos_i, sin_i = math.cos(inclination), math.sin(inclination)
-    x_eci = radius * (cos_u * cos_raan - sin_u * cos_i * sin_raan)
-    y_eci = radius * (cos_u * sin_raan + sin_u * cos_i * cos_raan)
-    z_eci = radius * (sin_u * sin_i)
-
-    theta = gmst0_rad + EARTH_ROTATION_RATE * times
-    cos_t, sin_t = np.cos(theta), np.sin(theta)
-    x_ecef = cos_t * x_eci + sin_t * y_eci
-    y_ecef = -sin_t * x_eci + cos_t * y_eci
-    return np.stack([x_ecef, y_ecef, z_eci], axis=-1)
+    positions_eci = BatchPropagator([elements], J2000).positions_eci_offsets(times)[:, 0, :]
+    return rotate_rows_about_z(positions_eci, gmst0_rad + EARTH_ROTATION_RATE * times)
 
 
 @dataclass

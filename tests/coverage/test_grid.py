@@ -21,6 +21,13 @@ class TestLatLonGrid:
         with pytest.raises(ValueError):
             LatLonGrid(resolution_deg=0.7)
 
+    def test_fractional_resolutions_accepted(self):
+        # Regression: float modulo made 180.0 % 0.1 come out near 0.1, so
+        # evenly dividing fractional resolutions were wrongly rejected.
+        grid = LatLonGrid(resolution_deg=0.1)
+        assert grid.values.shape == (1800, 3600)
+        assert LatLonGrid(resolution_deg=0.25).values.shape == (720, 1440)
+
     def test_values_shape_checked(self):
         with pytest.raises(ValueError):
             LatLonGrid(resolution_deg=1.0, values=np.zeros((10, 10)))
@@ -72,6 +79,12 @@ class TestLatLocalTimeGrid:
             LatLocalTimeGrid(lat_resolution_deg=7.0, time_resolution_hours=1.0)
         with pytest.raises(ValueError):
             LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=5.0)
+
+    def test_fractional_resolutions_accepted(self):
+        # Regression: 24 % 0.1 suffers the same float-modulo failure as the
+        # latitude check; both axes must accept evenly dividing fractions.
+        grid = LatLocalTimeGrid(lat_resolution_deg=0.1, time_resolution_hours=0.1)
+        assert grid.values.shape == (1800, 240)
 
     def test_index_wraps_time(self):
         grid = LatLocalTimeGrid(lat_resolution_deg=2.0, time_resolution_hours=1.0)

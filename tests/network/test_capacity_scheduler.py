@@ -52,6 +52,27 @@ class TestProportionalAllocation:
         with pytest.raises(ValueError):
             allocate_proportional(graph, [Flow("a", (0, 3), 1.0)])
 
+    def test_zero_capacity_link_starves_flow(self):
+        # Regression: a flow over a capacity-0 link used to be allocated its
+        # full demand while the link reported utilisation 0.0.
+        graph = _line_graph(10.0)
+        graph.edges[1, 2]["capacity_gbps"] = 0.0
+        flows = [Flow("dead", (0, 1, 2), 4.0), Flow("live", (0, 1), 6.0)]
+        result = allocate_proportional(graph, flows)
+        assert result.allocated_gbps["dead"] == 0.0
+        assert result.allocated_gbps["live"] == pytest.approx(6.0)
+        assert result.link_utilisation[(1, 2)] == 1.0
+        # The starved flow must not count against the links it shares either.
+        assert result.link_utilisation[(0, 1)] == pytest.approx(0.6)
+
+    def test_zero_capacity_link_without_load_idle(self):
+        graph = _line_graph(10.0)
+        graph.edges[2, 3]["capacity_gbps"] = 0.0
+        flows = [Flow("zero", (2, 3), 0.0), Flow("live", (0, 1), 6.0)]
+        result = allocate_proportional(graph, flows)
+        assert result.allocated_gbps["live"] == pytest.approx(6.0)
+        assert result.link_utilisation[(2, 3)] == 0.0
+
 
 class TestMaxMinAllocation:
     def test_fair_share_on_shared_link(self):
@@ -73,6 +94,17 @@ class TestMaxMinAllocation:
         flows = [Flow("a", (0, 1, 2, 3), 30.0), Flow("b", (1, 2), 30.0), Flow("c", (2, 3), 2.0)]
         result = allocate_max_min(graph, flows)
         assert result.worst_link_utilisation() <= 1.0 + 1e-6
+
+    def test_zero_capacity_link_reported_saturated(self):
+        # Same convention as allocate_proportional: the starved flow gets
+        # nothing and the dead link shows up as saturated, not idle.
+        graph = _line_graph(10.0)
+        graph.edges[1, 2]["capacity_gbps"] = 0.0
+        flows = [Flow("dead", (0, 1, 2), 4.0), Flow("live", (0, 1), 6.0)]
+        result = allocate_max_min(graph, flows)
+        assert result.allocated_gbps["dead"] == pytest.approx(0.0, abs=1e-9)
+        assert result.allocated_gbps["live"] == pytest.approx(6.0, abs=0.01)
+        assert result.link_utilisation[(1, 2)] == 1.0
 
 
 class TestScheduler:

@@ -39,6 +39,12 @@ class TestNetworkSimulator:
         result = simulator.run(epoch, duration_hours=3.0, step_hours=1.0)
         assert len(result.steps) == 3
 
+    def test_fractional_step_count_exact(self, simulator, epoch):
+        # Regression: `while elapsed < duration: elapsed += step` ran an
+        # eleventh step when ten 0.1-hour increments under-accumulated.
+        result = simulator.run(epoch, duration_hours=1.0, step_hours=0.1)
+        assert len(result.steps) == 10
+
     def test_statistics_are_sane(self, simulator, epoch):
         result = simulator.run(epoch, duration_hours=2.0, step_hours=1.0)
         for step in result.steps:

@@ -62,6 +62,33 @@ class TestTopology:
             assert graph.degree(f"gs:{station.name}") >= 1
 
 
+class TestSnapshotSequences:
+    def test_snapshot_graphs_match_per_epoch_graphs(self, walker_topology, stations, epoch):
+        epochs = [epoch.add_seconds(t) for t in (0.0, 120.0, 240.0)]
+        batched = walker_topology.snapshot_graphs(epochs, stations)
+        for at, graph in zip(epochs, batched):
+            reference = walker_topology.snapshot_graph(at, stations)
+            assert set(graph.nodes) == set(reference.nodes)
+            assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
+
+    def test_time_aware_snapshot_count_exact(self, walker_topology, stations, epoch):
+        router = TimeAwareRouter(
+            topology=walker_topology, ground_stations=stations, step_s=60.0
+        )
+        assert len(router.snapshots(epoch, 600.0)) == 10
+        # Regression: float accumulation used to add an eleventh snapshot
+        # when step_s does not sum exactly to the duration.
+        router_fractional = TimeAwareRouter(
+            topology=walker_topology, ground_stations=stations, step_s=0.1
+        )
+        assert len(router_fractional.snapshots(epoch, 1.0)) == 10
+
+    def test_snapshot_validation(self, walker_topology, stations, epoch):
+        router = TimeAwareRouter(topology=walker_topology, ground_stations=stations)
+        with pytest.raises(ValueError):
+            router.snapshots(epoch, 0.0)
+
+
 class TestRouting:
     def test_route_between_stations(self, walker_topology, stations):
         graph = walker_topology.snapshot_graph(ground_stations=stations)
