@@ -2,8 +2,9 @@
 
 Not a figure of the paper, but the Section 5 implications ask what routing and
 traffic engineering look like over SS-plane constellations; this benchmark
-times a short time-stepped simulation over a designed SS constellation and
-reports delivery ratio and latency.
+runs a scenario sweep (baseline vs max-min allocation vs doubled demand) over
+a designed SS constellation through the shared snapshot-sequence engine and
+reports per-scenario delivery ratio and latency.
 """
 
 from __future__ import annotations
@@ -14,10 +15,16 @@ from repro.demand.population import synthetic_population_grid
 from repro.demand.spatiotemporal import SpatiotemporalDemandModel
 from repro.demand.traffic_matrix import City, GravityTrafficModel
 from repro.network.ground_station import GroundStation
-from repro.network.simulation import NetworkSimulator
+from repro.network.simulation import NetworkSimulator, Scenario
 from repro.network.topology import ConstellationTopology
 from repro.orbits.time import Epoch
 from repro.radiation.exposure import ExposureCalculator
+
+SCENARIOS = [
+    Scenario(name="baseline"),
+    Scenario(name="max_min", allocator="max_min"),
+    Scenario(name="peak_demand", demand_multiplier=2.0),
+]
 
 
 def _run_simulation():
@@ -49,24 +56,31 @@ def _run_simulation():
         traffic_model=GravityTrafficModel(cities=cities, total_demand=60.0),
         flows_per_step=20,
     )
-    result = simulator.run(epoch, duration_hours=4.0, step_hours=2.0)
-    return outcome, result
+    sweep = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=4.0, step_hours=2.0)
+    return outcome, sweep
 
 
 def test_network_over_ss_constellation(benchmark, once):
-    outcome, result = once(benchmark, _run_simulation)
+    outcome, sweep = once(benchmark, _run_simulation)
 
     print(
         f"\nSS constellation: {outcome.total_satellites} satellites in "
         f"{outcome.metrics.plane_count} planes"
     )
-    for step in result.steps:
-        print(
-            f"  t={step.utc_hour:05.2f}h offered={step.offered_gbps:.1f} "
-            f"delivered={step.delivered_gbps:.1f} reach={step.reachable_fraction:.2f} "
-            f"latency={step.mean_latency_ms:.1f}ms"
-        )
+    for name, result in sweep.items():
+        print(f"  scenario {name}:")
+        for step in result.steps:
+            print(
+                f"    t={step.utc_hour:05.2f}h offered={step.offered_gbps:.1f} "
+                f"delivered={step.delivered_gbps:.1f} reach={step.reachable_fraction:.2f} "
+                f"latency={step.mean_latency_ms:.1f}ms"
+            )
 
     assert outcome.total_satellites > 0
-    assert len(result.steps) == 2
-    assert result.mean_delivery_ratio() > 0.0
+    assert list(sweep) == [scenario.name for scenario in SCENARIOS]
+    for result in sweep.values():
+        assert len(result.steps) == 2
+        assert result.mean_delivery_ratio() > 0.0
+    baseline, peak = sweep["baseline"], sweep["peak_demand"]
+    for light, heavy in zip(baseline.steps, peak.steps):
+        assert heavy.offered_gbps > light.offered_gbps

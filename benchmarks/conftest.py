@@ -11,6 +11,24 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help=(
+            "shrink benchmark problem sizes and relax speedup floors so the "
+            "harness doubles as a fast CI correctness check"
+        ),
+    )
+
+
+@pytest.fixture()
+def smoke(request) -> bool:
+    """Whether the harness runs in CI smoke mode (small sizes, lax floors)."""
+    return request.config.getoption("--smoke")
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under the benchmark fixture."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

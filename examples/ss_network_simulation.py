@@ -1,13 +1,16 @@
-"""Network simulation over an SS-plane constellation (Section 5 exploration).
+"""Scenario-sweep network simulation over an SS-plane constellation.
 
 Run with:  python examples/ss_network_simulation.py
 
 Designs a small SS-plane constellation, builds its +Grid inter-satellite-link
-topology, attaches ground stations at major cities, and runs a time-stepped
-simulation of gravity-model traffic over half a day.  It then reports the
-per-step delivery ratio, reachability and latency, plus how much the
-peak-shifting scheduler could flatten the diurnal load -- the questions the
-paper's Section 5 raises for future LSN research.
+topology, attaches ground stations at major cities, and evaluates a *sweep*
+of traffic scenarios -- baseline, doubled demand, max-min fair allocation and
+a transatlantic station subset -- over half a day through one shared snapshot
+sequence: the constellation is propagated once, link feasibility is computed
+once, and every scenario reuses the incrementally updated per-step graphs and
+routing.  It then reports per-scenario delivery and latency, plus how much
+the peak-shifting scheduler could flatten the diurnal load -- the questions
+the paper's Section 5 raises for future LSN research.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from repro.demand.spatiotemporal import SpatiotemporalDemandModel
 from repro.demand.traffic_matrix import City, GravityTrafficModel
 from repro.network.ground_station import GroundStation
 from repro.network.scheduler import PeakShiftScheduler
-from repro.network.simulation import NetworkSimulator
+from repro.network.simulation import NetworkSimulator, Scenario
 from repro.network.topology import ConstellationTopology
 from repro.orbits.time import Epoch
 from repro.radiation.exposure import ExposureCalculator
@@ -38,6 +41,16 @@ CITIES = (
     City("Sydney", -33.9, 151.2, 5.3),
     City("Los Angeles", 34.1, -118.2, 13.0),
 )
+
+SCENARIOS = [
+    Scenario(name="baseline"),
+    Scenario(name="peak_demand", demand_multiplier=2.0),
+    Scenario(name="max_min_fair", allocator="max_min"),
+    Scenario(
+        name="transatlantic",
+        ground_station_names=("London", "New York", "Sao Paulo", "Lagos"),
+    ),
+]
 
 
 def main() -> None:
@@ -68,8 +81,33 @@ def main() -> None:
         flows_per_step=25,
     )
 
-    print("\nRunning a 12-hour simulation (2-hour steps) ...")
-    result = simulator.run(epoch, duration_hours=12.0, step_hours=2.0)
+    print(
+        f"\nSweeping {len(SCENARIOS)} scenarios over a 12-hour simulation "
+        "(2-hour steps, one shared snapshot sequence) ..."
+    )
+    sweep = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=12.0, step_hours=2.0)
+
+    rows = []
+    for name, result in sweep.items():
+        worst = result.worst_step()
+        rows.append(
+            [
+                name,
+                round(result.mean_delivery_ratio(), 2),
+                round(result.mean_latency_ms(), 1)
+                if np.isfinite(result.mean_latency_ms())
+                else "-",
+                round(worst.delivery_ratio, 2),
+                round(worst.utc_hour, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "delivery", "latency ms", "worst delivery", "worst hour"], rows
+        )
+    )
+
+    print("\nBaseline scenario, step by step:")
     rows = [
         [
             round(step.utc_hour, 1),
@@ -78,10 +116,9 @@ def main() -> None:
             round(step.reachable_fraction, 2),
             round(step.mean_latency_ms, 1) if np.isfinite(step.mean_latency_ms) else "-",
         ]
-        for step in result.steps
+        for step in sweep["baseline"].steps
     ]
     print(format_table(["UTC hour", "offered", "delivered", "reachable", "latency ms"], rows))
-    print(f"mean delivery ratio: {result.mean_delivery_ratio():.2f}")
 
     print("\nPeak shifting of deferrable traffic (Section 5, implication 1):")
     profile = DiurnalProfile()

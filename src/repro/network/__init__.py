@@ -1,30 +1,61 @@
 """Satellite network layer (the Section 5 implications substrate).
 
 Inter-satellite link modelling, +Grid topologies for Walker and SS-plane
-constellations, ground stations, snapshot and time-aware routing, capacity
-allocation, demand-aware scheduling, and a time-stepped flow simulator driven
-by the gravity traffic model.
+constellations (single- and multi-shell), cached incremental snapshot-graph
+sequences, ground stations, snapshot and time-aware routing, capacity
+allocation, demand-aware scheduling, and a staged scenario-sweep simulator
+driven by the gravity traffic model.
 """
 
-from .capacity import AllocationResult, Flow, allocate_max_min, allocate_proportional
-from .ground_station import GroundStation, default_ground_stations, visible_satellites
-from .isl import ISLConfig, grazing_altitude_km, isl_feasible, propagation_delay_ms
+from .capacity import (
+    ALLOCATORS,
+    AllocationResult,
+    Flow,
+    allocate_max_min,
+    allocate_proportional,
+    get_allocator,
+)
+from .ground_station import (
+    GroundStation,
+    default_ground_stations,
+    visibility_mask,
+    visible_satellites,
+)
+from .isl import (
+    ISLConfig,
+    grazing_altitude_km,
+    grazing_altitudes_km,
+    isl_feasible,
+    isl_feasible_mask,
+    propagation_delay_ms,
+)
 from .routing import RouteResult, SnapshotRouter, TimeAwareRouter
 from .scheduler import PeakShiftScheduler, ScheduleResult
-from .simulation import NetworkSimulator, SimulationResult, StepStatistics
-from .topology import ConstellationTopology, SatelliteNode, build_plus_grid_topology
+from .simulation import NetworkSimulator, Scenario, SimulationResult, StepStatistics
+from .topology import (
+    ConstellationTopology,
+    MultiShellTopology,
+    SatelliteNode,
+    SnapshotSequence,
+    build_plus_grid_topology,
+)
 
 __all__ = [
+    "ALLOCATORS",
     "AllocationResult",
     "Flow",
     "allocate_max_min",
     "allocate_proportional",
+    "get_allocator",
     "GroundStation",
     "default_ground_stations",
+    "visibility_mask",
     "visible_satellites",
     "ISLConfig",
     "grazing_altitude_km",
+    "grazing_altitudes_km",
     "isl_feasible",
+    "isl_feasible_mask",
     "propagation_delay_ms",
     "RouteResult",
     "SnapshotRouter",
@@ -32,9 +63,12 @@ __all__ = [
     "PeakShiftScheduler",
     "ScheduleResult",
     "NetworkSimulator",
+    "Scenario",
     "SimulationResult",
     "StepStatistics",
     "ConstellationTopology",
+    "MultiShellTopology",
     "SatelliteNode",
+    "SnapshotSequence",
     "build_plus_grid_topology",
 ]

@@ -3,16 +3,26 @@
 Given a set of flows routed over a snapshot graph, allocate bandwidth subject
 to per-link capacities.  Two allocation policies are provided: proportional
 scaling (every flow gets the same fraction of its demand, set by the most
-congested link) and progressive-filling max-min fairness.
+congested link) and progressive-filling max-min fairness.  Policies are
+registered by name in :data:`ALLOCATORS` so scenario definitions can select
+them declaratively (see :class:`repro.network.simulation.Scenario`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import networkx as nx
 
-__all__ = ["Flow", "AllocationResult", "allocate_proportional", "allocate_max_min"]
+__all__ = [
+    "Flow",
+    "AllocationResult",
+    "allocate_proportional",
+    "allocate_max_min",
+    "ALLOCATORS",
+    "get_allocator",
+]
 
 
 @dataclass(frozen=True)
@@ -175,3 +185,20 @@ def allocate_max_min(
             demand = sum(f.demand_gbps for f in flows_by_link[key])
             utilisation[key] = 1.0 if demand > 0 else 0.0
     return AllocationResult(allocated_gbps=rates, link_utilisation=utilisation)
+
+
+#: Allocation policies addressable by name (scenario definitions use these).
+ALLOCATORS: dict[str, Callable[[nx.Graph, list[Flow]], AllocationResult]] = {
+    "proportional": allocate_proportional,
+    "max_min": allocate_max_min,
+}
+
+
+def get_allocator(policy: str) -> Callable[[nx.Graph, list[Flow]], AllocationResult]:
+    """Return the allocation function registered under ``policy``."""
+    try:
+        return ALLOCATORS[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator policy {policy!r}; available: {sorted(ALLOCATORS)}"
+        ) from None

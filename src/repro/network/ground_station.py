@@ -17,7 +17,12 @@ from ..demand.population import METRO_AREAS
 from ..orbits.frames import geodetic_to_ecef
 from .isl import propagation_delay_ms
 
-__all__ = ["GroundStation", "default_ground_stations", "visible_satellites"]
+__all__ = [
+    "GroundStation",
+    "default_ground_stations",
+    "visibility_mask",
+    "visible_satellites",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,30 @@ def default_ground_stations(
     ]
 
 
+def visibility_mask(
+    station: GroundStation, satellite_positions_ecef_km: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (visible, distances) of satellites as seen from a station.
+
+    ``satellite_positions_ecef_km`` has shape ``(..., 3)`` -- e.g. ``(N, 3)``
+    for one instant or ``(T, N, 3)`` for a whole snapshot sequence; leading
+    axes broadcast.  ``visible`` is the boolean elevation-above-mask array and
+    ``distances`` the slant range [km], both of the input shape minus the
+    trailing axis.  This is the single definition of the visibility model,
+    shared by :func:`visible_satellites` and the snapshot-sequence engine.
+    """
+    positions = np.asarray(satellite_positions_ecef_km, dtype=float)
+    if positions.shape[-1] != 3:
+        raise ValueError("satellite positions must have a trailing axis of length 3")
+    site = station.position_ecef_km()
+    zenith = site / np.linalg.norm(site)
+    lines_of_sight = positions - site
+    norms = np.linalg.norm(lines_of_sight, axis=-1)
+    sin_elevation = (lines_of_sight @ zenith) / np.maximum(norms, 1e-9)
+    elevation = np.arcsin(np.clip(sin_elevation, -1.0, 1.0))
+    return elevation >= math.radians(station.min_elevation_deg), norms
+
+
 def visible_satellites(
     station: GroundStation, satellite_positions_ecef_km: np.ndarray
 ) -> np.ndarray:
@@ -84,10 +113,5 @@ def visible_satellites(
     positions = np.asarray(satellite_positions_ecef_km, dtype=float)
     if positions.ndim != 2 or positions.shape[1] != 3:
         raise ValueError("satellite positions must have shape (N, 3)")
-    site = station.position_ecef_km()
-    zenith = site / np.linalg.norm(site)
-    lines_of_sight = positions - site
-    norms = np.linalg.norm(lines_of_sight, axis=1)
-    sin_elevation = (lines_of_sight @ zenith) / np.maximum(norms, 1e-9)
-    elevation = np.arcsin(np.clip(sin_elevation, -1.0, 1.0))
-    return np.nonzero(elevation >= math.radians(station.min_elevation_deg))[0]
+    visible, _ = visibility_mask(station, positions)
+    return np.nonzero(visible)[0]

@@ -14,7 +14,14 @@ import numpy as np
 
 from ..constants import EARTH_RADIUS_KM
 
-__all__ = ["ISLConfig", "isl_feasible", "propagation_delay_ms", "grazing_altitude_km"]
+__all__ = [
+    "ISLConfig",
+    "isl_feasible",
+    "isl_feasible_mask",
+    "propagation_delay_ms",
+    "grazing_altitude_km",
+    "grazing_altitudes_km",
+]
 
 #: Speed of light [km/s].
 SPEED_OF_LIGHT_KM_S = 299792.458
@@ -75,8 +82,61 @@ def isl_feasible(
     return grazing_altitude_km(position_a_km, position_b_km) >= config.min_grazing_altitude_km
 
 
-def propagation_delay_ms(distance_km: float) -> float:
-    """Return the one-way propagation delay [ms] over ``distance_km``."""
-    if distance_km < 0:
+def grazing_altitudes_km(
+    positions_a_km: np.ndarray, positions_b_km: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`grazing_altitude_km` over stacked position pairs.
+
+    ``positions_a_km`` and ``positions_b_km`` broadcast against each other
+    with a trailing axis of length 3; the result drops that axis.  Degenerate
+    pairs (identical endpoints) report the endpoint altitude, matching the
+    scalar routine.
+    """
+    a = np.asarray(positions_a_km, dtype=float)
+    b = np.asarray(positions_b_km, dtype=float)
+    a, b = np.broadcast_arrays(a, b)
+    chord = b - a
+    chord_length_sq = np.sum(chord * chord, axis=-1)
+    safe = np.where(chord_length_sq > 0.0, chord_length_sq, 1.0)
+    t = -np.sum(a * chord, axis=-1) / safe
+    t = np.clip(t, 0.0, 1.0)
+    closest = a + t[..., None] * chord
+    altitude = np.linalg.norm(closest, axis=-1) - EARTH_RADIUS_KM
+    degenerate = np.linalg.norm(a, axis=-1) - EARTH_RADIUS_KM
+    return np.where(chord_length_sq > 0.0, altitude, degenerate)
+
+
+def isl_feasible_mask(
+    positions_a_km: np.ndarray,
+    positions_b_km: np.ndarray,
+    config: ISLConfig | None = None,
+) -> np.ndarray:
+    """Vectorised :func:`isl_feasible` over stacked position pairs.
+
+    The inputs broadcast like :func:`grazing_altitudes_km`; the result is a
+    boolean array marking the pairs whose link satisfies both the range and
+    the Earth-grazing constraints.  This is the feasibility kernel of the
+    snapshot-sequence topology engine: one call covers every candidate pair
+    of every time step.
+    """
+    config = config or ISLConfig()
+    a = np.asarray(positions_a_km, dtype=float)
+    b = np.asarray(positions_b_km, dtype=float)
+    distances = np.linalg.norm(a - b, axis=-1)
+    in_range = distances <= config.max_range_km
+    clear = grazing_altitudes_km(a, b) >= config.min_grazing_altitude_km
+    return in_range & clear
+
+
+def propagation_delay_ms(distance_km):
+    """Return the one-way propagation delay [ms] over ``distance_km``.
+
+    Accepts a scalar (returns ``float``) or an array of distances (returns an
+    array) -- the single definition of the delay model, used both per edge
+    and by the vectorised snapshot-sequence engine.
+    """
+    distances = np.asarray(distance_km, dtype=float)
+    if np.any(distances < 0):
         raise ValueError("distance must be non-negative")
-    return distance_km / SPEED_OF_LIGHT_KM_S * 1000.0
+    delays = distances / SPEED_OF_LIGHT_KM_S * 1000.0
+    return float(delays) if delays.ndim == 0 else delays

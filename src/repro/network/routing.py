@@ -8,6 +8,13 @@ would be explored:
 * **time-aware routing** -- paths computed on a sequence of snapshots so that
   predictable coverage gaps and handoffs of an SS-plane constellation can be
   planned for in advance rather than reacted to.
+
+Both modes sit on the cached snapshot-sequence engine of
+:mod:`repro.network.topology`: the time-aware router draws its graphs from a
+:class:`~repro.network.topology.SnapshotSequence`, so a whole routing window
+costs one batched propagation plus one vectorised feasibility pass, and
+streaming evaluations (``route_over_time``) reuse the incrementally updated
+graph instead of rebuilding it per step.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from ..orbits.time import Epoch, step_count
+from ..orbits.time import Epoch, epoch_range
 from .ground_station import GroundStation
 from .topology import ConstellationTopology
 
@@ -115,21 +122,22 @@ class TimeAwareRouter:
     ground_stations: list[GroundStation] = field(default_factory=list)
     step_s: float = 60.0
 
+    def _epochs(self, start: Epoch, duration_s: float) -> list[Epoch]:
+        if duration_s <= 0 or self.step_s <= 0:
+            raise ValueError("duration_s and step_s must be positive")
+        return epoch_range(start, duration_s, self.step_s)
+
     def snapshots(self, start: Epoch, duration_s: float) -> list[tuple[Epoch, nx.Graph]]:
         """Return (epoch, graph) snapshots covering ``duration_s`` from ``start``.
 
         The number of snapshots is computed as an exact integer count (so
         ``duration_s=1.0, step_s=0.1`` yields 10 snapshots, not 11), and the
-        whole sequence shares one batched propagation of the constellation.
+        whole window shares one snapshot sequence: one batched propagation,
+        one vectorised feasibility pass.  Each returned graph is independent.
         """
-        if duration_s <= 0 or self.step_s <= 0:
-            raise ValueError("duration_s and step_s must be positive")
-        epochs = [
-            start.add_seconds(index * self.step_s)
-            for index in range(step_count(duration_s, self.step_s))
-        ]
-        graphs = self.topology.snapshot_graphs(epochs, self.ground_stations)
-        return list(zip(epochs, graphs))
+        epochs = self._epochs(start, duration_s)
+        sequence = self.topology.snapshot_sequence(epochs, self.ground_stations)
+        return list(zip(epochs, sequence.graphs(copy=True)))
 
     def route_over_time(
         self,
@@ -141,10 +149,14 @@ class TimeAwareRouter:
         """Return the best route at every snapshot over a time window.
 
         The result exposes exactly the quantities a time-aware routing study
-        needs: per-instant latency, reachability gaps and path churn.
+        needs: per-instant latency, reachability gaps and path churn.  The
+        evaluation streams over the incrementally updated snapshot graph, so
+        no per-step graph copies are made.
         """
+        epochs = self._epochs(start, duration_s)
+        sequence = self.topology.snapshot_sequence(epochs, self.ground_stations)
         results = []
-        for epoch, graph in self.snapshots(start, duration_s):
+        for epoch, graph in zip(epochs, sequence.graphs(copy=False)):
             router = SnapshotRouter(graph)
             results.append((epoch, router.route_between_stations(source, destination)))
         return results

@@ -1,33 +1,98 @@
-"""Time-stepped network simulation.
+"""Time-stepped network simulation and scenario sweeps.
 
-Ties the network layer together: at each time step the simulator rebuilds the
-constellation snapshot graph (satellites move, ground links change), routes a
-gravity-model traffic matrix over it, allocates link capacity, and records
-throughput, latency and reachability statistics.  This is the "new simulation
-methodology" ingredient of the paper's Section 5 agenda: a sun-relative
-spatiotemporal traffic model driving evaluation of a satellite network.
+The simulator is a pipeline of composable stages, executed once per time
+step:
 
-Two batching optimisations keep step cost low: satellite positions for all
-steps come from one vectorised ``(T, N, 3)`` propagation (via
-:meth:`ConstellationTopology.snapshot_graphs`), and routing runs one
-single-source Dijkstra per distinct source ground station instead of one
-shortest-path search per flow.
+1. **snapshot provider** -- per-step graphs stream from a cached
+   :class:`~repro.network.topology.SnapshotSequence` (one batched
+   ``(T, N, 3)`` propagation plus one vectorised feasibility pass for the
+   whole run, graphs updated incrementally between steps);
+2. **flow selection** -- the gravity traffic matrix of the step's UTC hour
+   (memoised: the diurnal model repeats every 24 h, so a week-long run needs
+   24 distinct matrices, not one rebuild per step) is filtered to the
+   scenario's ground stations, scaled by its demand multiplier, and reduced
+   to the largest ``flows_per_step`` flows;
+3. **routing** -- one single-source Dijkstra per distinct source station
+   covers every flow out of it;
+4. **capacity allocation** -- the scenario's allocator policy
+   (:data:`repro.network.capacity.ALLOCATORS`) splits link bandwidth among
+   the routed flows;
+5. **statistics** -- throughput, latency and reachability are folded into a
+   :class:`StepStatistics`.
+
+:meth:`NetworkSimulator.run` executes that pipeline for a single default
+scenario.  The scenario-sweep entry point,
+:meth:`NetworkSimulator.run_scenarios`, evaluates many :class:`Scenario`
+variants (demand multipliers, ground-station subsets, flow budgets,
+allocator policies) over *one* shared snapshot sequence: scenarios with the
+same station subset literally share each per-step graph, so a sweep pays the
+topology cost once instead of once per scenario.  This is the paper's
+Section 5 evaluation methodology -- many traffic scenarios over one
+constellation -- as a first-class API.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+import networkx as nx
 import numpy as np
 
-from ..demand.traffic_matrix import GravityTrafficModel
-from ..orbits.time import Epoch, step_count
-from .capacity import Flow, allocate_proportional
+from ..demand.traffic_matrix import GravityTrafficModel, TrafficMatrix
+from ..orbits.time import Epoch, epoch_range
+from .capacity import AllocationResult, Flow, get_allocator
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
-from .topology import ConstellationTopology
+from .topology import ConstellationTopology, MultiShellTopology
 
-__all__ = ["StepStatistics", "SimulationResult", "NetworkSimulator"]
+__all__ = [
+    "Scenario",
+    "StepStatistics",
+    "SimulationResult",
+    "NetworkSimulator",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One traffic scenario of a sweep.
+
+    Attributes
+    ----------
+    name:
+        Unique key of the scenario within a sweep.
+    demand_multiplier:
+        Scales every traffic-matrix entry before flow selection.
+    ground_station_names:
+        Restrict traffic endpoints (and graph attachment) to this subset of
+        the simulator's stations; ``None`` uses all of them.
+    flows_per_step:
+        Per-step flow budget; ``None`` uses the simulator's default.
+    allocator:
+        Capacity-allocation policy name, looked up in
+        :data:`repro.network.capacity.ALLOCATORS`.
+    """
+
+    name: str
+    demand_multiplier: float = 1.0
+    ground_station_names: tuple[str, ...] | None = None
+    flows_per_step: int | None = None
+    allocator: str = "proportional"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.demand_multiplier <= 0:
+            raise ValueError("demand_multiplier must be positive")
+        if self.flows_per_step is not None and self.flows_per_step <= 0:
+            raise ValueError("flows_per_step must be positive")
+        if self.ground_station_names is not None:
+            object.__setattr__(
+                self, "ground_station_names", tuple(self.ground_station_names)
+            )
+        get_allocator(self.allocator)  # validate the policy name early
 
 
 @dataclass(frozen=True)
@@ -75,6 +140,53 @@ class SimulationResult:
         return min(self.steps, key=lambda step: step.delivery_ratio)
 
 
+class _SharedRouteCache:
+    """Per-graph cache of single-source routing results.
+
+    Scenarios evaluated on the same snapshot graph share one instance, so a
+    sweep pays each source's Dijkstra once per step however many scenarios
+    (or worker threads) consume it.  The lock makes the check-then-compute
+    atomic under ``max_workers`` threading: concurrent scenarios of one group
+    wait for the first computation instead of redundantly repeating it.
+    """
+
+    def __init__(self):
+        self._routes: dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    def routes_from(self, router: SnapshotRouter, source: str) -> dict:
+        routes = self._routes.get(source)
+        if routes is None:
+            with self._lock:
+                routes = self._routes.get(source)
+                if routes is None:
+                    routes = router.routes_from(source)
+                    self._routes[source] = routes
+        return routes
+
+
+class _TrafficMatrixCache:
+    """Memoise ``matrix_at`` by UTC hour.
+
+    The diurnal model repeats every 24 hours, so a multi-day simulation
+    revisits the same hours; each distinct hour's O(cities^2) gravity matrix
+    is built once.  Keys are rounded to nanosecond-of-hour precision so
+    float-modulo jitter between nominally equal hours still hits the cache.
+    """
+
+    def __init__(self, model: GravityTrafficModel):
+        self._model = model
+        self._matrices: dict[float, TrafficMatrix] = {}
+
+    def matrix_at(self, utc_hour: float) -> TrafficMatrix:
+        key = round(utc_hour % 24.0, 9)
+        matrix = self._matrices.get(key)
+        if matrix is None:
+            matrix = self._model.matrix_at(utc_hour)
+            self._matrices[key] = matrix
+        return matrix
+
+
 @dataclass
 class NetworkSimulator:
     """Time-stepped simulator of a constellation serving gravity traffic.
@@ -82,7 +194,8 @@ class NetworkSimulator:
     Attributes
     ----------
     topology:
-        Constellation to simulate.
+        Constellation to simulate (a single shell or a
+        :class:`~repro.network.topology.MultiShellTopology`).
     ground_stations:
         Traffic endpoints (must correspond to cities of the traffic model).
     traffic_model:
@@ -90,79 +203,230 @@ class NetworkSimulator:
         stations present.
     flows_per_step:
         The simulator routes only the largest ``flows_per_step`` flows of each
-        traffic matrix to keep step cost bounded.
+        traffic matrix to keep step cost bounded (scenarios may override).
     """
 
-    topology: ConstellationTopology
+    topology: ConstellationTopology | MultiShellTopology
     ground_stations: list[GroundStation]
     traffic_model: GravityTrafficModel = field(default_factory=GravityTrafficModel)
     flows_per_step: int = 50
 
-    def run(self, start: Epoch, duration_hours: float, step_hours: float = 1.0) -> SimulationResult:
-        """Run the simulation and return per-step statistics."""
+    # -- public entry points -----------------------------------------------------
+
+    def run(
+        self,
+        start: Epoch,
+        duration_hours: float,
+        step_hours: float = 1.0,
+        allocator: str = "proportional",
+    ) -> SimulationResult:
+        """Run a single default scenario and return per-step statistics.
+
+        Equivalent to a one-element :meth:`run_scenarios` sweep; kept as the
+        simple entry point.
+        """
+        scenario = Scenario(name="run", allocator=allocator)
+        return self.run_scenarios([scenario], start, duration_hours, step_hours)["run"]
+
+    def run_scenarios(
+        self,
+        scenarios: list[Scenario],
+        start: Epoch,
+        duration_hours: float,
+        step_hours: float = 1.0,
+        max_workers: int | None = None,
+    ) -> dict[str, SimulationResult]:
+        """Run every scenario over one shared snapshot sequence.
+
+        All scenarios see the same constellation kinematics: one batched
+        propagation and one vectorised link-feasibility pass cover the whole
+        sweep, and scenarios whose ground-station subsets coincide share each
+        incrementally updated per-step graph outright -- including its routing
+        stage: shortest paths depend only on the graph, so one single-source
+        Dijkstra per station per step serves every scenario of the group,
+        whatever its demand multiplier, flow budget or allocator.  Results are
+        keyed by scenario name, in input order, and are identical to running
+        each scenario through an equivalently configured independent
+        simulator.
+
+        ``max_workers`` optionally fans the per-step scenario evaluations out
+        to a thread pool; results are deterministic either way.
+        """
         if duration_hours <= 0 or step_hours <= 0:
             raise ValueError("duration_hours and step_hours must be positive")
-        station_names = {station.name for station in self.ground_stations}
-        result = SimulationResult()
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ValueError("at least one scenario is required")
+        names = [scenario.name for scenario in scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError("scenario names must be unique")
 
-        steps = step_count(duration_hours, step_hours)
-        epochs = [start.add_seconds(index * step_hours * 3600.0) for index in range(steps)]
-        graphs = self.topology.iter_snapshot_graphs(epochs, self.ground_stations)
-        for index, graph in enumerate(graphs):
-            elapsed = index * step_hours
-            utc_hour = (start.fraction_of_day() * 24.0 + elapsed) % 24.0
+        station_subsets = {
+            scenario.name: self._station_subset(scenario) for scenario in scenarios
+        }
+        union_names = set().union(*station_subsets.values()) if scenarios else set()
+        union_stations = [
+            station for station in self.ground_stations if station.name in union_names
+        ]
 
-            matrix = self.traffic_model.matrix_at(utc_hour)
-            candidate_flows = [
-                (source.name, destination.name, demand)
-                for (source, destination, demand) in self._matrix_entries(matrix)
-                if source.name in station_names and destination.name in station_names
-            ]
-            candidate_flows.sort(key=lambda item: item[2], reverse=True)
-            candidate_flows = candidate_flows[: self.flows_per_step]
+        epochs = epoch_range(start, duration_hours * 3600.0, step_hours * 3600.0)
+        sequence = self.topology.snapshot_sequence(epochs, union_stations)
+        matrix_cache = _TrafficMatrixCache(self.traffic_model)
 
-            # One Dijkstra per distinct source station covers every flow out
-            # of it, instead of one shortest-path search per flow.
-            router = SnapshotRouter(graph)
-            routes_by_source: dict[str, dict] = {}
-            flows: list[Flow] = []
-            latencies: list[float] = []
-            offered = 0.0
-            reachable = 0
-            for source_name, destination_name, demand in candidate_flows:
-                offered += demand
-                source = f"gs:{source_name}"
-                if source not in routes_by_source:
-                    routes_by_source[source] = router.routes_from(source)
-                route = routes_by_source[source].get(f"gs:{destination_name}")
-                if route is None:
-                    continue
-                reachable += 1
-                latencies.append(route.latency_ms)
-                flows.append(
-                    Flow(
-                        name=f"{source_name}->{destination_name}",
-                        path=route.path,
-                        demand_gbps=demand,
-                    )
+        # Scenarios with the same station subset share one incremental graph
+        # stream; the underlying array work is shared by all streams anyway.
+        streams: dict[frozenset[str], object] = {}
+        for scenario in scenarios:
+            subset = frozenset(station_subsets[scenario.name])
+            if subset not in streams:
+                streams[subset] = sequence.graphs(
+                    copy=False, station_names=station_subsets[scenario.name]
                 )
 
-            allocation = allocate_proportional(graph, flows) if flows else None
-            delivered = allocation.total_allocated() if allocation else 0.0
-            worst_util = allocation.worst_link_utilisation() if allocation else 0.0
-            result.steps.append(
-                StepStatistics(
-                    utc_hour=utc_hour,
-                    offered_gbps=offered,
-                    delivered_gbps=delivered,
-                    reachable_fraction=(
-                        reachable / len(candidate_flows) if candidate_flows else 1.0
-                    ),
-                    mean_latency_ms=float(np.mean(latencies)) if latencies else float("inf"),
-                    worst_link_utilisation=worst_util,
+        results = {name: SimulationResult() for name in names}
+        executor = (
+            ThreadPoolExecutor(max_workers=max_workers)
+            if max_workers is not None and max_workers > 1
+            else None
+        )
+        try:
+            for index in range(len(epochs)):
+                utc_hour = (start.fraction_of_day() * 24.0 + index * step_hours) % 24.0
+                matrix = matrix_cache.matrix_at(utc_hour)
+                step_graphs = {
+                    subset: next(stream) for subset, stream in streams.items()
+                }
+                route_caches = {subset: _SharedRouteCache() for subset in step_graphs}
+
+                def _evaluate(scenario: Scenario) -> StepStatistics:
+                    subset = frozenset(station_subsets[scenario.name])
+                    return self._simulate_step(
+                        step_graphs[subset],
+                        matrix,
+                        scenario,
+                        station_subsets[scenario.name],
+                        utc_hour,
+                        route_cache=route_caches[subset],
+                    )
+
+                if executor is not None:
+                    step_stats = list(executor.map(_evaluate, scenarios))
+                else:
+                    step_stats = [_evaluate(scenario) for scenario in scenarios]
+                for scenario, stats in zip(scenarios, step_stats):
+                    results[scenario.name].steps.append(stats)
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        return results
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _station_subset(self, scenario: Scenario) -> tuple[str, ...]:
+        """Resolve a scenario's effective station names, in simulator order."""
+        available = [station.name for station in self.ground_stations]
+        if scenario.ground_station_names is None:
+            return tuple(available)
+        wanted = set(scenario.ground_station_names)
+        unknown = wanted - set(available)
+        if unknown:
+            raise ValueError(
+                f"scenario {scenario.name!r} references unknown stations: "
+                f"{sorted(unknown)}"
+            )
+        return tuple(name for name in available if name in wanted)
+
+    def _select_flows(
+        self,
+        matrix: TrafficMatrix,
+        station_names: tuple[str, ...],
+        flows_per_step: int,
+        demand_multiplier: float,
+    ) -> list[tuple[str, str, float]]:
+        """Stage 2: filter, scale and budget the step's candidate flows."""
+        names = set(station_names)
+        candidates = [
+            (source.name, destination.name, demand * demand_multiplier)
+            for (source, destination, demand) in self._matrix_entries(matrix)
+            if source.name in names and destination.name in names
+        ]
+        candidates.sort(key=lambda item: item[2], reverse=True)
+        return candidates[:flows_per_step]
+
+    @staticmethod
+    def _route_flows(
+        graph: nx.Graph,
+        candidate_flows: list[tuple[str, str, float]],
+        route_cache: _SharedRouteCache | None = None,
+    ) -> tuple[list[Flow], list[float], float]:
+        """Stage 3: route candidates, one Dijkstra per distinct source.
+
+        ``route_cache`` may be shared by every scenario evaluated on the same
+        graph: shortest paths depend only on the graph, so a sweep pays each
+        single-source search once per step rather than once per scenario.
+        """
+        router = SnapshotRouter(graph)
+        cache = route_cache if route_cache is not None else _SharedRouteCache()
+        flows: list[Flow] = []
+        latencies: list[float] = []
+        offered = 0.0
+        for source_name, destination_name, demand in candidate_flows:
+            offered += demand
+            source = f"gs:{source_name}"
+            route = cache.routes_from(router, source).get(f"gs:{destination_name}")
+            if route is None:
+                continue
+            latencies.append(route.latency_ms)
+            flows.append(
+                Flow(
+                    name=f"{source_name}->{destination_name}",
+                    path=route.path,
+                    demand_gbps=demand,
                 )
             )
-        return result
+        return flows, latencies, offered
+
+    @staticmethod
+    def _allocate(
+        graph: nx.Graph, flows: list[Flow], allocator: str
+    ) -> AllocationResult | None:
+        """Stage 4: split link capacity among the routed flows."""
+        if not flows:
+            return None
+        return get_allocator(allocator)(graph, flows)
+
+    def _simulate_step(
+        self,
+        graph: nx.Graph,
+        matrix: TrafficMatrix,
+        scenario: Scenario,
+        station_names: tuple[str, ...],
+        utc_hour: float,
+        route_cache: _SharedRouteCache | None = None,
+    ) -> StepStatistics:
+        """Run stages 2-5 of the pipeline for one scenario at one step."""
+        flows_per_step = (
+            scenario.flows_per_step
+            if scenario.flows_per_step is not None
+            else self.flows_per_step
+        )
+        candidate_flows = self._select_flows(
+            matrix, station_names, flows_per_step, scenario.demand_multiplier
+        )
+        flows, latencies, offered = self._route_flows(graph, candidate_flows, route_cache)
+        allocation = self._allocate(graph, flows, scenario.allocator)
+        delivered = allocation.total_allocated() if allocation else 0.0
+        worst_util = allocation.worst_link_utilisation() if allocation else 0.0
+        return StepStatistics(
+            utc_hour=utc_hour,
+            offered_gbps=offered,
+            delivered_gbps=delivered,
+            reachable_fraction=(
+                len(flows) / len(candidate_flows) if candidate_flows else 1.0
+            ),
+            mean_latency_ms=float(np.mean(latencies)) if latencies else float("inf"),
+            worst_link_utilisation=worst_util,
+        )
 
     @staticmethod
     def _matrix_entries(matrix) -> list:

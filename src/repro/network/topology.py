@@ -1,26 +1,46 @@
-"""Constellation network topologies.
+"""Constellation network topologies and cached snapshot-graph sequences.
 
-Builds graph snapshots of a constellation: satellites as nodes, inter-satellite
-links (ISLs) as edges, optionally with ground stations attached through
-up/down links.  The standard "+Grid" pattern (each satellite linked to its two
-intra-plane neighbours and the nearest satellite in each adjacent plane) is
-provided for both Walker-delta shells and SS-plane constellations; because an
-SS-plane constellation concentrates its planes around demand-heavy local
-times, its topology is denser in the demand-carrying region -- one of the
-Section 5 implications this layer lets users explore.
+This module is the topology stage of the layered scenario-sweep engine.  It
+is organised in three tiers:
 
-Satellite positions come from a :class:`repro.orbits.propagation.BatchPropagator`
-built once at topology construction: every snapshot propagates the whole
-constellation in vectorised array operations instead of one scalar propagator
-per satellite, and :meth:`ConstellationTopology.snapshot_graphs` amortises a
-single ``(T, N, 3)`` propagation across a whole sequence of snapshots -- the
-hot path of time-stepped simulation.
+* **Static structure** -- a topology (a single-shell
+  :class:`ConstellationTopology` or a sharded :class:`MultiShellTopology`)
+  describes which link candidates can ever exist: intra-plane neighbour pairs
+  (fixed by slot order, so they never change), nearest-neighbour scans toward
+  adjacent planes (and adjacent shells), and the ground stations that may
+  attach.  The structure is computed once per topology, not per time step.
+
+* **Vectorised kinematics** -- :class:`SnapshotSequence` takes a topology and
+  an epoch sequence, obtains the batched ``(T, N, 3)`` Earth-fixed position
+  array from the topology's :class:`~repro.orbits.propagation.BatchPropagator`
+  shards, and evaluates distances, ISL feasibility masks, nearest-neighbour
+  selections and ground-station visibility for *all candidate pairs of all
+  steps* in numpy array operations -- no per-edge Python feasibility calls.
+
+* **Incremental graphs** -- :meth:`SnapshotSequence.graphs` yields one
+  :class:`networkx.Graph` per step by diffing each step's edge set against
+  the previous one: nodes are inserted once, vanished links are removed,
+  persisting links only have their attributes refreshed.  Rebuilding the
+  graph object from nothing at every step -- the dominant cost of
+  time-stepped simulation once propagation is batched -- is gone.
+
+The classic entry points (:meth:`ConstellationTopology.snapshot_graph`,
+:meth:`~ConstellationTopology.snapshot_graphs`,
+:meth:`~ConstellationTopology.iter_snapshot_graphs`) remain as thin wrappers
+over the sequence engine and produce edge-for-edge identical graphs.
+
+The standard "+Grid" pattern (each satellite linked to its two intra-plane
+neighbours and the nearest satellite in each adjacent plane) is provided for
+both Walker-delta shells and SS-plane constellations; because an SS-plane
+constellation concentrates its planes around demand-heavy local times, its
+topology is denser in the demand-carrying region -- one of the Section 5
+implications this layer lets users explore.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
 import numpy as np
@@ -28,10 +48,16 @@ import numpy as np
 from ..orbits.elements import OrbitalElements
 from ..orbits.propagation import BatchPropagator
 from ..orbits.time import Epoch
-from .ground_station import GroundStation, visible_satellites
-from .isl import ISLConfig, isl_feasible, propagation_delay_ms
+from .ground_station import GroundStation, visibility_mask
+from .isl import ISLConfig, isl_feasible_mask, propagation_delay_ms
 
-__all__ = ["SatelliteNode", "ConstellationTopology", "build_plus_grid_topology"]
+__all__ = [
+    "SatelliteNode",
+    "ConstellationTopology",
+    "MultiShellTopology",
+    "SnapshotSequence",
+    "build_plus_grid_topology",
+]
 
 
 @dataclass(frozen=True)
@@ -44,8 +70,332 @@ class SatelliteNode:
     elements: OrbitalElements
 
 
+@dataclass(frozen=True)
+class _StaticPairs:
+    """Candidate links whose endpoints are fixed (intra-plane neighbours).
+
+    Feasibility and distance still vary with time, but the pair list itself
+    is computed once per topology.
+    """
+
+    pairs: np.ndarray  # (E, 2) node ids, each row sorted ascending
+    config: ISLConfig
+
+
+@dataclass(frozen=True)
+class _NearestScan:
+    """Candidate links found per step: each ``a`` satellite links to its
+    nearest neighbour among the ``b`` satellites (kept only if feasible)."""
+
+    a_indices: np.ndarray  # (Na,) node ids
+    b_indices: np.ndarray  # (Nb,) node ids
+    config: ISLConfig
+
+
+def _nearest_scan_arrays(
+    positions: np.ndarray,
+    scan: _NearestScan,
+    max_elements: int = 4_000_000,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate a nearest-neighbour scan over a ``(T, N, 3)`` position stack.
+
+    Returns ``(b_nearest, distances, feasible)``, each of shape
+    ``(T, len(a_indices))``.  The pairwise distance tensor is evaluated in
+    chunks -- over steps, and within a step over the ``a`` axis when one
+    step's ``|a| * |b|`` block alone exceeds the budget (inter-shell scans of
+    10k-satellite shells) -- so memory stays bounded at roughly
+    ``max_elements`` floats.
+    """
+    steps = positions.shape[0]
+    count_a = len(scan.a_indices)
+    count_b = len(scan.b_indices)
+    step_chunk = max(1, max_elements // max(1, count_a * count_b))
+    a_chunk = max(1, max_elements // max(1, count_b))
+    nearest_local = np.empty((steps, count_a), dtype=np.intp)
+    distances = np.empty((steps, count_a))
+    for begin in range(0, steps, step_chunk):
+        end = min(steps, begin + step_chunk)
+        block_b = positions[begin:end, scan.b_indices, :]
+        for a_begin in range(0, count_a, a_chunk):
+            a_end = min(count_a, a_begin + a_chunk)
+            block_a = positions[begin:end, scan.a_indices[a_begin:a_end], :]
+            pairwise = np.linalg.norm(
+                block_b[:, None, :, :] - block_a[:, :, None, :], axis=-1
+            )
+            local = np.argmin(pairwise, axis=-1)
+            nearest_local[begin:end, a_begin:a_end] = local
+            distances[begin:end, a_begin:a_end] = np.take_along_axis(
+                pairwise, local[..., None], axis=-1
+            )[..., 0]
+    b_nearest = np.asarray(scan.b_indices)[nearest_local]
+    positions_b = np.take_along_axis(positions, b_nearest[..., None], axis=1)
+    feasible = isl_feasible_mask(
+        positions[:, scan.a_indices, :], positions_b, scan.config
+    )
+    return b_nearest, distances, feasible
+
+
+class SnapshotSequence:
+    """Precomputed, incrementally updated snapshot graphs of a topology.
+
+    One construction evaluates the whole sequence in vectorised numpy: the
+    batched ``(T, N, 3)`` propagation, distances and feasibility masks of all
+    static candidate pairs, nearest-neighbour selections toward adjacent
+    planes/shells, and ground-station visibility for every supplied station.
+    :meth:`graphs` then replays the sequence as :class:`networkx.Graph`
+    snapshots, updating one graph in place between steps instead of
+    rebuilding it.
+
+    Several independent graph streams (e.g. one per scenario group with a
+    different ground-station subset) can be drawn from the same sequence;
+    the expensive array work is shared by all of them.
+    """
+
+    def __init__(
+        self,
+        topology: "ConstellationTopology | MultiShellTopology",
+        epochs: Sequence[Epoch],
+        ground_stations: Sequence[GroundStation] | None = None,
+    ):
+        self._epochs = list(epochs)
+        if not self._epochs:
+            raise ValueError("snapshot sequence requires at least one epoch")
+        self._topology = topology
+        self._stations = list(ground_stations) if ground_stations else []
+        names = [station.name for station in self._stations]
+        if len(set(names)) != len(names):
+            raise ValueError("ground station names must be unique")
+
+        positions = topology.positions_ecef_over(self._epochs)
+
+        # Static pair groups: distances + feasibility for every pair of every
+        # step in one broadcastable operation per group.
+        self._static: list[tuple[list[tuple[int, int]], np.ndarray, np.ndarray, float]] = []
+        self._scans: list[tuple[list[int], np.ndarray, np.ndarray, np.ndarray, float]] = []
+        for group in topology.edge_groups():
+            if isinstance(group, _StaticPairs):
+                if len(group.pairs) == 0:
+                    continue
+                block_a = positions[:, group.pairs[:, 0], :]
+                block_b = positions[:, group.pairs[:, 1], :]
+                dist = np.linalg.norm(block_a - block_b, axis=-1)
+                feasible = isl_feasible_mask(block_a, block_b, group.config)
+                self._static.append(
+                    (
+                        [tuple(row) for row in group.pairs.tolist()],
+                        dist,
+                        feasible,
+                        group.config.capacity_gbps,
+                    )
+                )
+            elif isinstance(group, _NearestScan):
+                if len(group.a_indices) == 0 or len(group.b_indices) == 0:
+                    continue
+                b_nearest, dist, feasible = _nearest_scan_arrays(positions, group)
+                self._scans.append(
+                    (
+                        list(group.a_indices.tolist()),
+                        b_nearest,
+                        dist,
+                        feasible,
+                        group.config.capacity_gbps,
+                    )
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown edge group {type(group).__name__}")
+
+        # Ground visibility: elevation masks and slant ranges for all
+        # stations over all steps, in array operations.
+        ground_capacity = topology.isl_config.capacity_gbps
+        self._ground: dict[str, tuple[np.ndarray, np.ndarray, float]] = {}
+        for station in self._stations:
+            visible, distances = visibility_mask(station, positions)
+            self._ground[station.name] = (visible, distances, ground_capacity)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def epochs(self) -> list[Epoch]:
+        """The epoch of every step, in order."""
+        return list(self._epochs)
+
+    @property
+    def ground_stations(self) -> list[GroundStation]:
+        """The stations whose visibility was precomputed."""
+        return list(self._stations)
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    # -- per-step edge sets ------------------------------------------------------
+
+    def _edges_at(
+        self, step: int, stations: list[GroundStation]
+    ) -> dict[tuple, tuple[float, float, float]]:
+        """Return the canonical edge set of one step.
+
+        Keys are ``(a, b)`` with satellite pairs sorted ascending and ground
+        links keyed ``("gs:<name>", sat)``; values are
+        ``(distance_km, delay_ms, capacity_gbps)``.
+        """
+        edges: dict[tuple, tuple[float, float, float]] = {}
+        for pairs, dist, feasible, capacity in self._static:
+            selected = np.flatnonzero(feasible[step])
+            step_dist = dist[step, selected]
+            step_delay = propagation_delay_ms(step_dist).tolist()
+            for index, d, dl in zip(selected.tolist(), step_dist.tolist(), step_delay):
+                edges[pairs[index]] = (d, dl, capacity)
+        for a_ids, b_nearest, dist, feasible, capacity in self._scans:
+            selected = np.flatnonzero(feasible[step])
+            step_b = b_nearest[step, selected].tolist()
+            step_dist = dist[step, selected]
+            step_delay = propagation_delay_ms(step_dist).tolist()
+            for index, b, d, dl in zip(
+                selected.tolist(), step_b, step_dist.tolist(), step_delay
+            ):
+                a = a_ids[index]
+                key = (a, b) if a <= b else (b, a)
+                edges[key] = (d, dl, capacity)
+        for station in stations:
+            visible, dist, capacity = self._ground[station.name]
+            gs_node = f"gs:{station.name}"
+            selected = np.flatnonzero(visible[step])
+            step_dist = dist[step, selected]
+            step_delay = propagation_delay_ms(step_dist).tolist()
+            for sat, d, dl in zip(selected.tolist(), step_dist.tolist(), step_delay):
+                edges[(gs_node, sat)] = (d, dl, capacity)
+        return edges
+
+    def _select_stations(
+        self, station_names: Iterable[str] | None
+    ) -> list[GroundStation]:
+        if station_names is None:
+            return self._stations
+        wanted = set(station_names)
+        unknown = wanted - {station.name for station in self._stations}
+        if unknown:
+            raise ValueError(
+                f"stations not part of this sequence: {sorted(unknown)}"
+            )
+        return [station for station in self._stations if station.name in wanted]
+
+    # -- graph production --------------------------------------------------------
+
+    def graphs(
+        self,
+        *,
+        copy: bool = True,
+        station_names: Iterable[str] | None = None,
+    ) -> Iterator[nx.Graph]:
+        """Yield one snapshot graph per step, updating incrementally.
+
+        Nodes (satellites plus the selected ground stations) are inserted
+        once; between steps only the edge diff is applied -- links that
+        disappeared are removed, links that persist have their ``distance_km``
+        / ``delay_ms`` attributes refreshed in place.
+
+        With ``copy=True`` (the default) every yielded graph is an
+        independent copy, safe to store.  ``copy=False`` yields the live,
+        incrementally mutated graph -- the fast path for streaming consumers
+        (simulators, per-step routers) that finish with each snapshot before
+        advancing.  ``station_names`` restricts which of the precomputed
+        ground stations are attached; several restricted streams can be drawn
+        from one sequence without repeating any array work.
+        """
+        stations = self._select_stations(station_names)
+        graph = nx.Graph()
+        for node_id, attributes in self._topology.graph_nodes():
+            graph.add_node(node_id, **attributes)
+        for station in stations:
+            graph.add_node(
+                f"gs:{station.name}",
+                kind="ground",
+                latitude_deg=station.latitude_deg,
+                longitude_deg=station.longitude_deg,
+            )
+        previous: dict[tuple, tuple[float, float, float]] = {}
+        for step in range(len(self._epochs)):
+            edges = self._edges_at(step, stations)
+            for key in previous.keys() - edges.keys():
+                graph.remove_edge(*key)
+            for (a, b), (distance, delay, capacity) in edges.items():
+                graph.add_edge(
+                    a,
+                    b,
+                    distance_km=distance,
+                    delay_ms=delay,
+                    capacity_gbps=capacity,
+                )
+            previous = edges
+            yield graph.copy() if copy else graph
+
+    def __iter__(self) -> Iterator[nx.Graph]:
+        return self.graphs()
+
+
+class _SnapshotTopologyMixin:
+    """Shared snapshot-graph API of single- and multi-shell topologies.
+
+    Subclasses supply the static structure (:meth:`edge_groups`,
+    :meth:`graph_nodes`), batched kinematics (:meth:`positions_ecef_over`)
+    and an ``isl_config``/``epoch``; the mixin routes every graph request
+    through the :class:`SnapshotSequence` engine so all paths produce
+    edge-for-edge identical graphs.
+    """
+
+    def snapshot_sequence(
+        self,
+        epochs: Sequence[Epoch],
+        ground_stations: Sequence[GroundStation] | None = None,
+    ) -> SnapshotSequence:
+        """Precompute a cached snapshot-graph sequence over ``epochs``."""
+        return SnapshotSequence(self, epochs, ground_stations)
+
+    def snapshot_graph(
+        self,
+        at: Epoch | None = None,
+        ground_stations: list[GroundStation] | None = None,
+    ) -> nx.Graph:
+        """Return the +Grid network graph at an epoch.
+
+        Satellite nodes are integers; ground-station nodes are strings
+        ``"gs:<name>"``.  Every edge carries ``distance_km``, ``delay_ms`` and
+        ``capacity_gbps`` attributes.
+        """
+        at = at or self.epoch
+        return next(SnapshotSequence(self, [at], ground_stations).graphs(copy=False))
+
+    def snapshot_graphs(
+        self,
+        epochs: Sequence[Epoch],
+        ground_stations: list[GroundStation] | None = None,
+    ) -> list[nx.Graph]:
+        """Return one snapshot graph per epoch, batching all array work.
+
+        Equivalent to ``[self.snapshot_graph(at, ground_stations) for at in
+        epochs]`` but amortises one ``(T, N, 3)`` propagation plus one
+        vectorised feasibility pass across the whole sequence.
+        """
+        return list(self.iter_snapshot_graphs(epochs, ground_stations))
+
+    def iter_snapshot_graphs(
+        self,
+        epochs: Sequence[Epoch],
+        ground_stations: list[GroundStation] | None = None,
+    ) -> Iterator[nx.Graph]:
+        """Yield one independent snapshot graph per epoch.
+
+        Generator form of :meth:`snapshot_graphs`; each yielded graph is a
+        copy that remains valid after iteration advances.  Streaming
+        consumers that never store graphs should use
+        :meth:`snapshot_sequence` and ``graphs(copy=False)`` to also skip the
+        per-step copy.
+        """
+        yield from SnapshotSequence(self, epochs, ground_stations).graphs(copy=True)
+
+
 @dataclass
-class ConstellationTopology:
+class ConstellationTopology(_SnapshotTopologyMixin):
     """A constellation arranged in planes, able to produce graph snapshots.
 
     Treat instances as immutable: the node list and the batch propagator are
@@ -72,8 +422,10 @@ class ConstellationTopology:
         if not self.planes or any(len(plane) == 0 for plane in self.planes):
             raise ValueError("topology requires at least one non-empty plane")
         self._nodes: list[SatelliteNode] = []
+        self._plane_offsets: list[int] = []
         node_id = 0
         for plane_index, plane in enumerate(self.planes):
+            self._plane_offsets.append(node_id)
             for slot_index, elements in enumerate(plane):
                 self._nodes.append(
                     SatelliteNode(
@@ -111,152 +463,222 @@ class ConstellationTopology:
         """Return Earth-fixed positions [km] of all satellites at an epoch."""
         return self._batch.positions_ecef_at(at or self.epoch)
 
-    def positions_ecef_over(self, epochs: list[Epoch]) -> np.ndarray:
+    def positions_ecef_over(self, epochs: Sequence[Epoch]) -> np.ndarray:
         """Return Earth-fixed positions [km] at every epoch, shape (T, N, 3).
 
         One vectorised propagation covers the whole sequence; this is what
         snapshot-sequence consumers (time-aware routing, the simulator)
         should use instead of calling :meth:`positions_ecef_km` per step.
         """
-        return self._batch.positions_ecef_many(epochs)
+        return self._batch.positions_ecef_many(list(epochs))
 
-    # -- graph construction --------------------------------------------------------
+    # -- static link structure ---------------------------------------------------
 
-    def snapshot_graph(
-        self,
-        at: Epoch | None = None,
-        ground_stations: list[GroundStation] | None = None,
-    ) -> nx.Graph:
-        """Return the +Grid network graph at an epoch.
-
-        Satellite nodes are integers; ground-station nodes are strings
-        ``"gs:<name>"``.  Every edge carries ``distance_km``, ``delay_ms`` and
-        ``capacity_gbps`` attributes.
-        """
-        at = at or self.epoch
-        return self._graph_from_positions(self.positions_ecef_km(at), ground_stations)
-
-    def snapshot_graphs(
-        self,
-        epochs: list[Epoch],
-        ground_stations: list[GroundStation] | None = None,
-    ) -> list[nx.Graph]:
-        """Return one snapshot graph per epoch, batching the propagation.
-
-        Equivalent to ``[self.snapshot_graph(at, ground_stations) for at in
-        epochs]`` but computes all satellite positions in a single
-        ``(T, N, 3)`` batch propagation first.
-        """
-        return list(self.iter_snapshot_graphs(epochs, ground_stations))
-
-    def iter_snapshot_graphs(
-        self,
-        epochs: list[Epoch],
-        ground_stations: list[GroundStation] | None = None,
-    ):
-        """Yield one snapshot graph per epoch, batching the propagation.
-
-        Generator form of :meth:`snapshot_graphs`: positions for the whole
-        sequence come from one batch propagation, but graphs are built one at
-        a time, so long simulations never hold every per-step graph at once.
-        """
-        positions = self.positions_ecef_over(epochs)
-        for step_positions in positions:
-            yield self._graph_from_positions(step_positions, ground_stations)
-
-    def _graph_from_positions(
-        self,
-        positions: np.ndarray,
-        ground_stations: list[GroundStation] | None = None,
-    ) -> nx.Graph:
-        graph = nx.Graph()
+    def graph_nodes(self) -> Iterator[tuple[int, dict]]:
+        """Yield every satellite node id with its graph attributes."""
         for node in self._nodes:
-            graph.add_node(
-                node.node_id,
-                plane=node.plane_index,
-                slot=node.slot_index,
-                kind="satellite",
-            )
+            yield node.node_id, {
+                "plane": node.plane_index,
+                "slot": node.slot_index,
+                "kind": "satellite",
+            }
 
-        self._add_intra_plane_links(graph, positions)
-        self._add_inter_plane_links(graph, positions)
+    def edge_groups(self) -> list[_StaticPairs | _NearestScan]:
+        """Return the candidate-link structure of the +Grid pattern.
 
-        if ground_stations:
-            self._add_ground_links(graph, positions, ground_stations)
-        return graph
-
-    def _add_edge(
-        self, graph: nx.Graph, a: int | str, b: int | str, distance_km: float
-    ) -> None:
-        graph.add_edge(
-            a,
-            b,
-            distance_km=distance_km,
-            delay_ms=propagation_delay_ms(distance_km),
-            capacity_gbps=self.isl_config.capacity_gbps,
-        )
-
-    def _add_intra_plane_links(self, graph: nx.Graph, positions: np.ndarray) -> None:
-        """Link each satellite to its predecessor/successor within the plane."""
-        offset = 0
-        for plane in self.planes:
+        Intra-plane rings are static pair lists.  Inter-plane links are
+        nearest-neighbour scans in *both* directions between adjacent planes:
+        the nearest-neighbour relation is not symmetric, so each satellite
+        links to its nearest neighbour in the next plane *and* in the
+        previous one (duplicate picks collapse onto one edge).
+        """
+        groups: list[_StaticPairs | _NearestScan] = []
+        intra: list[tuple[int, int]] = []
+        for plane_index, plane in enumerate(self.planes):
+            offset = self._plane_offsets[plane_index]
             count = len(plane)
-            for slot in range(count):
-                if count < 2:
-                    break
+            if count < 2:
+                continue
+            ring = count if count > 2 else 1  # two slots share a single link
+            for slot in range(ring):
                 a = offset + slot
                 b = offset + (slot + 1) % count
-                if count == 2 and graph.has_edge(a, b):
-                    continue
-                if isl_feasible(positions[a], positions[b], self.isl_config):
-                    self._add_edge(graph, a, b, float(np.linalg.norm(positions[a] - positions[b])))
-            offset += count
-
-    def _add_inter_plane_links(self, graph: nx.Graph, positions: np.ndarray) -> None:
-        """Link each satellite to its nearest feasible neighbour in adjacent planes."""
-        plane_offsets = []
-        offset = 0
-        for plane in self.planes:
-            plane_offsets.append(offset)
-            offset += len(plane)
-
-        for plane_index in range(self.plane_count):
-            next_plane = (plane_index + 1) % self.plane_count
-            if next_plane == plane_index:
-                continue
-            start_a = plane_offsets[plane_index]
-            start_b = plane_offsets[next_plane]
-            count_a = len(self.planes[plane_index])
-            count_b = len(self.planes[next_plane])
-            positions_b = positions[start_b : start_b + count_b]
-            for slot_a in range(count_a):
-                a = start_a + slot_a
-                distances = np.linalg.norm(positions_b - positions[a], axis=1)
-                b_local = int(np.argmin(distances))
-                b = start_b + b_local
-                if isl_feasible(positions[a], positions[b], self.isl_config):
-                    self._add_edge(graph, a, b, float(distances[b_local]))
-
-    def _add_ground_links(
-        self,
-        graph: nx.Graph,
-        positions: np.ndarray,
-        ground_stations: list[GroundStation],
-    ) -> None:
-        """Attach ground stations to every satellite they can currently see."""
-        for station in ground_stations:
-            gs_node = f"gs:{station.name}"
-            graph.add_node(
-                gs_node,
-                kind="ground",
-                latitude_deg=station.latitude_deg,
-                longitude_deg=station.longitude_deg,
+                intra.append((a, b) if a <= b else (b, a))
+        if intra:
+            groups.append(
+                _StaticPairs(pairs=np.array(intra, dtype=np.intp), config=self.isl_config)
             )
-            for sat_index in visible_satellites(station, positions):
-                distance = float(
-                    np.linalg.norm(positions[sat_index] - station.position_ecef_km())
+
+        directed_pairs: list[tuple[int, int]] = []
+        for plane_index in range(self.plane_count):
+            for neighbour in (
+                (plane_index + 1) % self.plane_count,
+                (plane_index - 1) % self.plane_count,
+            ):
+                if neighbour == plane_index:
+                    continue
+                if (plane_index, neighbour) not in directed_pairs:
+                    directed_pairs.append((plane_index, neighbour))
+        for plane_a, plane_b in directed_pairs:
+            start_a = self._plane_offsets[plane_a]
+            start_b = self._plane_offsets[plane_b]
+            groups.append(
+                _NearestScan(
+                    a_indices=np.arange(
+                        start_a, start_a + len(self.planes[plane_a]), dtype=np.intp
+                    ),
+                    b_indices=np.arange(
+                        start_b, start_b + len(self.planes[plane_b]), dtype=np.intp
+                    ),
+                    config=self.isl_config,
                 )
-                self._add_edge(graph, gs_node, int(sat_index), distance)
+            )
+        return groups
+
+
+@dataclass
+class MultiShellTopology(_SnapshotTopologyMixin):
+    """Several constellation shells composed into one routed network.
+
+    Very large constellations (10k+ satellites) are partitioned into shells
+    -- e.g. by altitude band -- each carrying its own
+    :class:`~repro.orbits.propagation.BatchPropagator`, so per-shard position
+    arrays stay cache-friendly instead of one huge stacked batch.  Node ids
+    are globally unique (shells are offset in order), every shell keeps its
+    own +Grid structure and ISL configuration, and adjacent shells are
+    stitched by nearest-feasible-neighbour links in both directions (the same
+    scan primitive used between planes).
+
+    The composed topology exposes the same snapshot API as a single shell,
+    so routing, snapshot sequences and the scenario-sweep simulator work on
+    it unchanged.
+
+    Attributes
+    ----------
+    shells:
+        The member topologies, in stitching order (consecutive shells are
+        linked); each propagates from its own reference epoch.
+    isl_config:
+        Link parameters of the inter-shell links and of ground up/down links.
+    """
+
+    shells: list[ConstellationTopology]
+    isl_config: ISLConfig = field(default_factory=ISLConfig)
+
+    def __post_init__(self) -> None:
+        if not self.shells:
+            raise ValueError("multi-shell topology requires at least one shell")
+        self._shell_offsets: list[int] = []
+        offset = 0
+        for shell in self.shells:
+            self._shell_offsets.append(offset)
+            offset += shell.satellite_count
+        self._satellite_count = offset
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def epoch(self) -> Epoch:
+        """Reference epoch of the first shell (the default snapshot instant)."""
+        return self.shells[0].epoch
+
+    @property
+    def shell_count(self) -> int:
+        """Number of member shells."""
+        return len(self.shells)
+
+    @property
+    def satellite_count(self) -> int:
+        """Total number of satellites over all shells."""
+        return self._satellite_count
+
+    @property
+    def nodes(self) -> list[SatelliteNode]:
+        """All satellite nodes with globally unique ids, in shell order.
+
+        ``plane_index`` and ``slot_index`` stay shell-local; the owning shell
+        is recoverable from the graph node attribute ``shell``.
+        """
+        nodes = []
+        for shell_index, shell in enumerate(self.shells):
+            offset = self._shell_offsets[shell_index]
+            for node in shell.nodes:
+                nodes.append(
+                    SatelliteNode(
+                        node_id=offset + node.node_id,
+                        plane_index=node.plane_index,
+                        slot_index=node.slot_index,
+                        elements=node.elements,
+                    )
+                )
+        return nodes
+
+    # -- geometry ----------------------------------------------------------------
+
+    def positions_ecef_km(self, at: Epoch | None = None) -> np.ndarray:
+        """Return Earth-fixed positions [km] of all satellites at an epoch."""
+        at = at or self.epoch
+        return np.concatenate(
+            [shell.positions_ecef_km(at) for shell in self.shells], axis=0
+        )
+
+    def positions_ecef_over(self, epochs: Sequence[Epoch]) -> np.ndarray:
+        """Return Earth-fixed positions [km] at every epoch, shape (T, N, 3).
+
+        Each shell propagates through its own batch shard; the results are
+        concatenated along the satellite axis in shell order.
+        """
+        epochs = list(epochs)
+        return np.concatenate(
+            [shell.positions_ecef_over(epochs) for shell in self.shells], axis=1
+        )
+
+    # -- static link structure ---------------------------------------------------
+
+    def graph_nodes(self) -> Iterator[tuple[int, dict]]:
+        """Yield every satellite node id with its graph attributes."""
+        for shell_index, shell in enumerate(self.shells):
+            offset = self._shell_offsets[shell_index]
+            for node_id, attributes in shell.graph_nodes():
+                yield offset + node_id, {**attributes, "shell": shell_index}
+
+    def edge_groups(self) -> list[_StaticPairs | _NearestScan]:
+        """Return every shell's +Grid structure plus inter-shell scans."""
+        groups: list[_StaticPairs | _NearestScan] = []
+        for shell_index, shell in enumerate(self.shells):
+            offset = self._shell_offsets[shell_index]
+            for group in shell.edge_groups():
+                if isinstance(group, _StaticPairs):
+                    groups.append(
+                        _StaticPairs(pairs=group.pairs + offset, config=group.config)
+                    )
+                else:
+                    groups.append(
+                        _NearestScan(
+                            a_indices=group.a_indices + offset,
+                            b_indices=group.b_indices + offset,
+                            config=group.config,
+                        )
+                    )
+        for shell_index in range(self.shell_count - 1):
+            lower = np.arange(
+                self._shell_offsets[shell_index],
+                self._shell_offsets[shell_index] + self.shells[shell_index].satellite_count,
+                dtype=np.intp,
+            )
+            upper = np.arange(
+                self._shell_offsets[shell_index + 1],
+                self._shell_offsets[shell_index + 1]
+                + self.shells[shell_index + 1].satellite_count,
+                dtype=np.intp,
+            )
+            groups.append(
+                _NearestScan(a_indices=lower, b_indices=upper, config=self.isl_config)
+            )
+            groups.append(
+                _NearestScan(a_indices=upper, b_indices=lower, config=self.isl_config)
+            )
+        return groups
 
 
 def build_plus_grid_topology(

@@ -66,7 +66,7 @@ from .sunsync import (
     sun_synchronous_inclination_deg,
     sun_synchronous_inclination_rad,
 )
-from .time import J2000, Epoch, gmst_rad, julian_date, step_count
+from .time import J2000, Epoch, epoch_range, gmst_rad, julian_date, step_count
 
 __all__ = [
     "OrbitalElements",
@@ -124,5 +124,6 @@ __all__ = [
     "Epoch",
     "gmst_rad",
     "step_count",
+    "epoch_range",
     "julian_date",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "julian_date",
     "gmst_rad",
     "step_count",
+    "epoch_range",
     "J2000",
 ]
 
@@ -165,3 +166,18 @@ def step_count(duration: float, step: float) -> int:
     else:
         count = int(math.ceil(ratio))
     return max(count, 1)
+
+
+def epoch_range(start: Epoch, duration_s: float, step_s: float) -> list[Epoch]:
+    """Return the uniform epoch sequence covering ``duration_s`` from ``start``.
+
+    The number of epochs comes from :func:`step_count` (exact integer counts,
+    no float under-accumulation), and every epoch is offset from ``start``
+    directly (``start + i * step``) rather than by repeated addition, so long
+    sequences do not drift.  This is the single sampling convention shared by
+    the simulator, the time-aware router and snapshot sequences.
+    """
+    return [
+        start.add_seconds(index * step_s)
+        for index in range(step_count(duration_s, step_s))
+    ]

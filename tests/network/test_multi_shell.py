@@ -1,0 +1,121 @@
+"""Tests of sharded multi-shell topologies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.demand.traffic_matrix import City, GravityTrafficModel
+from repro.network.ground_station import GroundStation
+from repro.network.simulation import NetworkSimulator, Scenario
+from repro.network.topology import ConstellationTopology, MultiShellTopology
+from repro.orbits.time import epoch_range
+
+
+def _walker_shell(epoch, altitude_km: float, total: int, planes: int) -> ConstellationTopology:
+    wd = WalkerDelta(
+        altitude_km=altitude_km,
+        inclination_deg=65.0,
+        total_satellites=total,
+        planes=planes,
+        phasing=1,
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    return ConstellationTopology(
+        planes=[elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)],
+        epoch=epoch,
+    )
+
+
+@pytest.fixture(scope="module")
+def shells(epoch) -> list[ConstellationTopology]:
+    return [
+        _walker_shell(epoch, 550.0, 60, 5),
+        _walker_shell(epoch, 1100.0, 40, 4),
+    ]
+
+
+@pytest.fixture(scope="module")
+def multi(shells) -> MultiShellTopology:
+    return MultiShellTopology(shells=shells)
+
+
+class TestMultiShellStructure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiShellTopology(shells=[])
+
+    def test_counts_and_global_ids(self, multi, shells):
+        assert multi.shell_count == 2
+        assert multi.satellite_count == 100
+        node_ids = [node.node_id for node in multi.nodes]
+        assert node_ids == list(range(100))
+
+    def test_positions_concatenate_per_shard(self, multi, shells, epoch):
+        epochs = epoch_range(epoch, 1200.0, 600.0)
+        positions = multi.positions_ecef_over(epochs)
+        assert positions.shape == (2, 100, 3)
+        first = shells[0].positions_ecef_over(epochs)
+        second = shells[1].positions_ecef_over(epochs)
+        assert np.array_equal(positions[:, :60, :], first)
+        assert np.array_equal(positions[:, 60:, :], second)
+
+    def test_single_shell_composition_matches_the_shell(self, shells, epoch):
+        alone = MultiShellTopology(shells=[shells[0]])
+        graph = alone.snapshot_graph()
+        reference = shells[0].snapshot_graph()
+        assert set(graph.nodes) == set(reference.nodes)
+        assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
+        for a, b, data in reference.edges(data=True):
+            assert graph.edges[a, b] == data
+        assert all(graph.nodes[n]["shell"] == 0 for n in graph.nodes)
+
+
+class TestMultiShellGraphs:
+    def test_snapshot_contains_both_shells_and_inter_shell_links(self, multi):
+        graph = multi.snapshot_graph()
+        shells_present = {graph.nodes[n]["shell"] for n in graph.nodes}
+        assert shells_present == {0, 1}
+        inter = [
+            (a, b)
+            for a, b in graph.edges
+            if graph.nodes[a]["shell"] != graph.nodes[b]["shell"]
+        ]
+        assert inter, "expected nearest-feasible-neighbour links between shells"
+        for a, b in inter:
+            assert graph.edges[a, b]["distance_km"] <= multi.isl_config.max_range_km
+
+    def test_sequence_equivalence(self, multi, epoch):
+        stations = [GroundStation("London", 51.5, -0.1), GroundStation("Tokyo", 35.7, 139.7)]
+        epochs = epoch_range(epoch, 3600.0, 900.0)
+        sequence = multi.snapshot_sequence(epochs, stations)
+        for at, graph in zip(epochs, sequence.graphs(copy=True)):
+            reference = multi.snapshot_graph(at, stations)
+            assert set(graph.nodes) == set(reference.nodes)
+            assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
+
+    def test_simulates_through_the_same_engine(self, multi, epoch):
+        cities = (
+            City("London", 51.5, -0.1, 9.6),
+            City("New York", 40.7, -74.0, 20.0),
+            City("Tokyo", 35.7, 139.7, 37.0),
+        )
+        simulator = NetworkSimulator(
+            topology=multi,
+            ground_stations=[
+                GroundStation(c.name, c.latitude_deg, c.longitude_deg) for c in cities
+            ],
+            traffic_model=GravityTrafficModel(cities=cities, total_demand=30.0),
+            flows_per_step=6,
+        )
+        sweep = simulator.run_scenarios(
+            [Scenario(name="base"), Scenario(name="heavy", demand_multiplier=2.0)],
+            epoch,
+            duration_hours=2.0,
+        )
+        assert len(sweep["base"].steps) == 2
+        assert sweep["base"].mean_delivery_ratio() > 0.0
+        reference = simulator.run(epoch, duration_hours=2.0)
+        assert sweep["base"].steps == reference.steps

@@ -1,0 +1,153 @@
+"""Tests of the scenario-sweep engine and its equivalence to single runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.demand.traffic_matrix import City, GravityTrafficModel
+from repro.network.ground_station import GroundStation
+from repro.network.simulation import NetworkSimulator, Scenario
+from repro.network.topology import ConstellationTopology
+
+CITIES = (
+    City("London", 51.5, -0.1, 9.6),
+    City("New York", 40.7, -74.0, 20.0),
+    City("Tokyo", 35.7, 139.7, 37.0),
+    City("Sao Paulo", -23.6, -46.6, 22.0),
+)
+
+
+@pytest.fixture(scope="module")
+def topology(epoch) -> ConstellationTopology:
+    wd = WalkerDelta(
+        altitude_km=560.0, inclination_deg=65.0, total_satellites=180, planes=10, phasing=1
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    planes = [elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)]
+    return ConstellationTopology(planes=planes, epoch=epoch)
+
+
+@pytest.fixture(scope="module")
+def stations() -> list[GroundStation]:
+    return [GroundStation(c.name, c.latitude_deg, c.longitude_deg) for c in CITIES]
+
+
+@pytest.fixture(scope="module")
+def simulator(topology, stations) -> NetworkSimulator:
+    return NetworkSimulator(
+        topology=topology,
+        ground_stations=stations,
+        traffic_model=GravityTrafficModel(cities=CITIES, total_demand=40.0),
+        flows_per_step=10,
+    )
+
+
+SCENARIOS = [
+    Scenario(name="baseline"),
+    Scenario(name="max_min", allocator="max_min"),
+    Scenario(name="budget", flows_per_step=4),
+    Scenario(name="subset", ground_station_names=("London", "Tokyo", "New York")),
+]
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            Scenario(name="")
+        with pytest.raises(ValueError):
+            Scenario(name="x", demand_multiplier=0.0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", flows_per_step=0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", allocator="nope")
+
+    def test_station_names_normalised_to_tuple(self):
+        scenario = Scenario(name="x", ground_station_names=["London", "Tokyo"])
+        assert scenario.ground_station_names == ("London", "Tokyo")
+
+    def test_sweep_validation(self, simulator, epoch):
+        with pytest.raises(ValueError):
+            simulator.run_scenarios([], epoch, 1.0)
+        with pytest.raises(ValueError):
+            simulator.run_scenarios([Scenario(name="a"), Scenario(name="a")], epoch, 1.0)
+        with pytest.raises(ValueError):
+            simulator.run_scenarios([Scenario(name="a")], epoch, 0.0)
+        with pytest.raises(ValueError):
+            simulator.run_scenarios(
+                [Scenario(name="a", ground_station_names=("Atlantis",))], epoch, 1.0
+            )
+
+
+class TestSweepEquivalence:
+    def test_sweep_matches_independent_runs(self, simulator, topology, stations, epoch):
+        """Four scenarios through one sweep == four independent run() calls."""
+        sweep = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=3.0)
+        assert list(sweep) == [scenario.name for scenario in SCENARIOS]
+
+        model = simulator.traffic_model
+        independent = {
+            "baseline": simulator.run(epoch, 3.0),
+            "max_min": simulator.run(epoch, 3.0, allocator="max_min"),
+            "budget": NetworkSimulator(
+                topology=topology,
+                ground_stations=stations,
+                traffic_model=model,
+                flows_per_step=4,
+            ).run(epoch, 3.0),
+            "subset": NetworkSimulator(
+                topology=topology,
+                ground_stations=[
+                    s for s in stations if s.name in ("London", "Tokyo", "New York")
+                ],
+                traffic_model=model,
+                flows_per_step=10,
+            ).run(epoch, 3.0),
+        }
+        for name, reference in independent.items():
+            assert sweep[name].steps == reference.steps
+
+    def test_parallel_sweep_matches_serial(self, simulator, epoch):
+        serial = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=2.0)
+        threaded = simulator.run_scenarios(
+            SCENARIOS, epoch, duration_hours=2.0, max_workers=4
+        )
+        for name in serial:
+            assert serial[name].steps == threaded[name].steps
+
+    def test_demand_multiplier_scales_offered_traffic(self, simulator, epoch):
+        sweep = simulator.run_scenarios(
+            [Scenario(name="x1"), Scenario(name="x3", demand_multiplier=3.0)],
+            epoch,
+            duration_hours=2.0,
+        )
+        for light, heavy in zip(sweep["x1"].steps, sweep["x3"].steps):
+            assert heavy.offered_gbps == pytest.approx(3.0 * light.offered_gbps)
+            assert heavy.delivered_gbps <= 3.0 * light.delivered_gbps + 1e-9
+
+    def test_run_is_a_single_scenario_sweep(self, simulator, epoch):
+        single = simulator.run(epoch, duration_hours=2.0)
+        sweep = simulator.run_scenarios([Scenario(name="only")], epoch, duration_hours=2.0)
+        assert single.steps == sweep["only"].steps
+
+
+class TestTrafficMatrixCache:
+    def test_diurnal_matrices_built_once_per_distinct_hour(self, topology, stations, epoch):
+        class CountingModel(GravityTrafficModel):
+            calls = 0
+
+            def matrix_at(self, utc_hour):
+                type(self).calls += 1
+                return super().matrix_at(utc_hour)
+
+        model = CountingModel(cities=CITIES, total_demand=40.0)
+        simulator = NetworkSimulator(
+            topology=topology,
+            ground_stations=stations,
+            traffic_model=model,
+            flows_per_step=4,
+        )
+        # Two full days at 1-hour steps: 48 steps but only 24 distinct hours.
+        simulator.run(epoch, duration_hours=48.0, step_hours=1.0)
+        assert CountingModel.calls == 24

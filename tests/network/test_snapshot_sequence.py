@@ -1,0 +1,234 @@
+"""Tests of the cached incremental snapshot-graph engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.network.ground_station import GroundStation
+from repro.network.isl import isl_feasible
+from repro.network.topology import ConstellationTopology, SnapshotSequence
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.time import epoch_range
+
+
+@pytest.fixture(scope="module")
+def walker_topology(epoch) -> ConstellationTopology:
+    wd = WalkerDelta(
+        altitude_km=560.0, inclination_deg=65.0, total_satellites=120, planes=8, phasing=1
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    planes = [elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)]
+    return ConstellationTopology(planes=planes, epoch=epoch)
+
+
+@pytest.fixture(scope="module")
+def stations() -> list[GroundStation]:
+    return [
+        GroundStation("London", 51.5, -0.1),
+        GroundStation("New York", 40.7, -74.0),
+        GroundStation("Tokyo", 35.7, 139.7),
+    ]
+
+
+def _assert_graphs_identical(graph, reference):
+    assert set(graph.nodes) == set(reference.nodes)
+    assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
+    for a, b, data in reference.edges(data=True):
+        assert graph.edges[a, b] == data
+
+
+class TestSnapshotSequenceEquivalence:
+    def test_incremental_graphs_match_fresh_builds_over_multiple_orbits(
+        self, walker_topology, stations, epoch
+    ):
+        # ~1.6 orbits at 4-minute steps: link sets churn many times, so the
+        # incremental diff path is exercised through adds, removals and
+        # attribute refreshes.
+        epochs = epoch_range(epoch, 2.0 * 5760.0, 240.0)
+        sequence = walker_topology.snapshot_sequence(epochs, stations)
+        for at, graph in zip(epochs, sequence.graphs(copy=True)):
+            _assert_graphs_identical(graph, walker_topology.snapshot_graph(at, stations))
+
+    def test_edge_sets_actually_change_between_steps(
+        self, walker_topology, stations, epoch
+    ):
+        epochs = epoch_range(epoch, 2.0 * 5760.0, 240.0)
+        edge_sets = [
+            frozenset(map(frozenset, graph.edges))
+            for graph in walker_topology.snapshot_sequence(epochs, stations).graphs()
+        ]
+        assert len(set(edge_sets)) > 1
+
+    def test_wrappers_route_through_sequence(self, walker_topology, stations, epoch):
+        epochs = epoch_range(epoch, 600.0, 300.0)
+        listed = walker_topology.snapshot_graphs(epochs, stations)
+        iterated = list(walker_topology.iter_snapshot_graphs(epochs, stations))
+        assert len(listed) == len(iterated) == 2
+        for a, b in zip(listed, iterated):
+            _assert_graphs_identical(a, b)
+
+
+class TestSnapshotSequenceSemantics:
+    def test_copy_true_yields_independent_graphs(self, walker_topology, stations, epoch):
+        epochs = epoch_range(epoch, 1800.0, 600.0)
+        graphs = list(walker_topology.snapshot_sequence(epochs, stations).graphs(copy=True))
+        assert len({id(graph) for graph in graphs}) == len(graphs)
+        # Stored copies stay valid: each matches its own fresh rebuild.
+        for at, graph in zip(epochs, graphs):
+            _assert_graphs_identical(graph, walker_topology.snapshot_graph(at, stations))
+
+    def test_copy_false_yields_live_graph(self, walker_topology, stations, epoch):
+        epochs = epoch_range(epoch, 1800.0, 600.0)
+        stream = walker_topology.snapshot_sequence(epochs, stations).graphs(copy=False)
+        identities = {id(graph) for graph in stream}
+        assert len(identities) == 1
+
+    def test_station_subset_streams(self, walker_topology, stations, epoch):
+        epochs = epoch_range(epoch, 1200.0, 600.0)
+        sequence = walker_topology.snapshot_sequence(epochs, stations)
+        subset = ["London", "Tokyo"]
+        for at, graph in zip(epochs, sequence.graphs(station_names=subset)):
+            reference = walker_topology.snapshot_graph(
+                at, [s for s in stations if s.name in subset]
+            )
+            _assert_graphs_identical(graph, reference)
+        with pytest.raises(ValueError):
+            next(sequence.graphs(station_names=["Atlantis"]))
+
+    def test_validation(self, walker_topology, stations):
+        with pytest.raises(ValueError):
+            SnapshotSequence(walker_topology, [])
+        with pytest.raises(ValueError):
+            SnapshotSequence(
+                walker_topology,
+                [walker_topology.epoch],
+                [GroundStation("X", 0.0, 0.0), GroundStation("X", 1.0, 1.0)],
+            )
+
+    def test_len_and_iter(self, walker_topology, stations, epoch):
+        epochs = epoch_range(epoch, 1800.0, 600.0)
+        sequence = walker_topology.snapshot_sequence(epochs, stations)
+        assert len(sequence) == 3
+        assert sequence.epochs == epochs
+        assert [s.name for s in sequence.ground_stations] == [s.name for s in stations]
+        assert sum(1 for _ in sequence) == 3
+
+
+def _circular_plane(raan_deg: float, anomalies_deg: list[float]) -> list[OrbitalElements]:
+    return [
+        OrbitalElements(
+            semi_major_axis_km=6378.137 + 800.0,
+            inclination_rad=math.radians(60.0),
+            raan_rad=math.radians(raan_deg),
+            true_anomaly_rad=math.radians(anomaly),
+        )
+        for anomaly in anomalies_deg
+    ]
+
+
+class TestInterPlaneSymmetry:
+    """Regression: inter-plane links must be scanned in both directions.
+
+    The nearest-neighbour relation is not symmetric -- satellite A's nearest
+    in the next plane may differ from who picks A -- so each satellite must
+    also link to its nearest feasible neighbour in the *previous* plane.  The
+    seed only scanned plane ``p -> p+1``, which silently dropped the reverse
+    picks for constellations with three or more planes.
+    """
+
+    def _assert_nearest_links_both_ways(self, topology):
+        graph = topology.snapshot_graph()
+        positions = topology.positions_ecef_km()
+        offsets, starts = [], 0
+        for plane in topology.planes:
+            offsets.append(starts)
+            starts += len(plane)
+        plane_count = topology.plane_count
+        for plane_index in range(plane_count):
+            for neighbour in ((plane_index + 1) % plane_count, (plane_index - 1) % plane_count):
+                if neighbour == plane_index:
+                    continue
+                start_a = offsets[plane_index]
+                start_b = offsets[neighbour]
+                block_b = positions[start_b : start_b + len(topology.planes[neighbour])]
+                for local_a in range(len(topology.planes[plane_index])):
+                    a = start_a + local_a
+                    distances = np.linalg.norm(block_b - positions[a], axis=1)
+                    b = start_b + int(np.argmin(distances))
+                    if isl_feasible(positions[a], positions[b], topology.isl_config):
+                        assert graph.has_edge(a, b), (
+                            f"satellite {a} (plane {plane_index}) is missing the link "
+                            f"to its nearest neighbour {b} in plane {neighbour}"
+                        )
+
+    def test_asymmetric_two_plane_layout(self, epoch):
+        # Deliberately asymmetric phasing: the two planes have different slot
+        # counts, so who-picks-whom differs between the directions.
+        topology = ConstellationTopology(
+            planes=[
+                _circular_plane(0.0, [0.0, 180.0]),
+                _circular_plane(4.0, [10.0, 100.0, 190.0, 280.0]),
+            ],
+            epoch=epoch,
+        )
+        self._assert_nearest_links_both_ways(topology)
+
+    def test_asymmetric_three_plane_layout(self, epoch):
+        # With >= 3 planes the seed's p -> p+1 scan never let a plane pick
+        # into its previous plane; this layout exposes exactly that.
+        topology = ConstellationTopology(
+            planes=[
+                _circular_plane(0.0, [0.0, 120.0, 240.0]),
+                _circular_plane(5.0, [36.0, 108.0, 180.0, 252.0, 324.0]),
+                _circular_plane(10.0, [60.0, 180.0, 300.0]),
+            ],
+            epoch=epoch,
+        )
+        self._assert_nearest_links_both_ways(topology)
+
+    def test_reverse_scan_adds_links_the_forward_scan_misses(self, epoch):
+        """At least one edge of the fixed graph only exists because of the
+        previous-plane scan (otherwise the fixture would not be a regression
+        test at all)."""
+        topology = ConstellationTopology(
+            planes=[
+                _circular_plane(0.0, [0.0, 120.0, 240.0]),
+                _circular_plane(5.0, [36.0, 108.0, 180.0, 252.0, 324.0]),
+                _circular_plane(10.0, [60.0, 180.0, 300.0]),
+            ],
+            epoch=epoch,
+        )
+        positions = topology.positions_ecef_km()
+        offsets = [0]
+        for plane in topology.planes[:-1]:
+            offsets.append(offsets[-1] + len(plane))
+
+        forward_edges = set()
+        for plane_index in range(topology.plane_count):
+            neighbour = (plane_index + 1) % topology.plane_count
+            start_a, start_b = offsets[plane_index], offsets[neighbour]
+            block_b = positions[start_b : start_b + len(topology.planes[neighbour])]
+            for local_a in range(len(topology.planes[plane_index])):
+                a = start_a + local_a
+                distances = np.linalg.norm(block_b - positions[a], axis=1)
+                b = start_b + int(np.argmin(distances))
+                if isl_feasible(positions[a], positions[b], topology.isl_config):
+                    forward_edges.add(frozenset((a, b)))
+
+        graph = topology.snapshot_graph()
+        inter_plane_edges = {
+            frozenset((a, b))
+            for a, b in graph.edges
+            if isinstance(a, int)
+            and isinstance(b, int)
+            and graph.nodes[a]["plane"] != graph.nodes[b]["plane"]
+        }
+        assert inter_plane_edges - forward_edges, (
+            "expected the previous-plane scan to contribute links the "
+            "forward-only seed scan missed"
+        )
