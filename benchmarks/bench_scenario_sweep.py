@@ -34,6 +34,7 @@ from repro.coverage.walker import WalkerDelta
 from repro.demand.traffic_matrix import City, GravityTrafficModel
 from repro.network.ground_station import GroundStation, visible_satellites
 from repro.network.isl import isl_feasible, propagation_delay_ms
+from repro.network.routing import SnapshotRouter
 from repro.network.simulation import NetworkSimulator, Scenario, SimulationResult
 from repro.network.topology import ConstellationTopology
 from repro.orbits.time import Epoch, epoch_range, step_count
@@ -163,7 +164,9 @@ def _seed_monolithic_run(simulator, scenario, start, duration_hours, step_hours)
             simulator.topology, positions, simulator.ground_stations
         )
         result.steps.append(
-            simulator._simulate_step(graph, matrix, scenario, station_names, utc_hour)
+            simulator._simulate_step(
+                SnapshotRouter(graph), graph, matrix, scenario, station_names, utc_hour
+            )
         )
     return result
 
@@ -171,7 +174,7 @@ def _seed_monolithic_run(simulator, scenario, start, duration_hours, step_hours)
 # -- the comparison --------------------------------------------------------------
 
 
-def _run_comparison(smoke: bool):
+def _run_comparison(smoke: bool, backend: str = "networkx"):
     epoch = Epoch.from_calendar(2025, 3, 20, 12, 0, 0.0)
     satellites, planes = (180, 10) if smoke else (576, 24)
     duration_hours = 6.0 if smoke else 24.0
@@ -183,7 +186,7 @@ def _run_comparison(smoke: bool):
     )
 
     # Warm both code paths (numpy dispatch, networkx decorators).
-    simulator.run_scenarios(SCENARIOS, epoch, duration_hours=1.0)
+    simulator.run_scenarios(SCENARIOS, epoch, duration_hours=1.0, backend=backend)
     _seed_monolithic_run(simulator, SCENARIOS[0], epoch, 1.0, 1.0)
 
     begin = time.perf_counter()
@@ -197,22 +200,24 @@ def _run_comparison(smoke: bool):
 
     begin = time.perf_counter()
     independent = {
-        "baseline": simulator.run(epoch, duration_hours),
+        "baseline": simulator.run(epoch, duration_hours, backend=backend),
         "peak_demand": simulator.run_scenarios(
-            [SCENARIOS[1]], epoch, duration_hours
+            [SCENARIOS[1]], epoch, duration_hours, backend=backend
         )["peak_demand"],
-        "max_min": simulator.run(epoch, duration_hours, allocator="max_min"),
+        "max_min": simulator.run(
+            epoch, duration_hours, allocator="max_min", backend=backend
+        ),
         "flow_budget": NetworkSimulator(
             topology=topology,
             ground_stations=stations,
             traffic_model=model,
             flows_per_step=SCENARIOS[3].flows_per_step,
-        ).run(epoch, duration_hours),
+        ).run(epoch, duration_hours, backend=backend),
     }
     independent_s = time.perf_counter() - begin
 
     begin = time.perf_counter()
-    sweep = simulator.run_scenarios(SCENARIOS, epoch, duration_hours)
+    sweep = simulator.run_scenarios(SCENARIOS, epoch, duration_hours, backend=backend)
     sweep_s = time.perf_counter() - begin
 
     identical = all(
@@ -234,6 +239,7 @@ def _run_comparison(smoke: bool):
         "satellites": satellites,
         "steps": len(epochs),
         "scenarios": len(SCENARIOS),
+        "backend": backend,
         "monolithic_s": monolithic_s,
         "independent_s": independent_s,
         "sweep_s": sweep_s,
@@ -252,11 +258,11 @@ def _run_comparison(smoke: bool):
     }
 
 
-def test_scenario_sweep_speedup(benchmark, once, smoke):
+def test_scenario_sweep_speedup(benchmark, once, smoke, backend):
     sweep_floor = 2.0 if smoke else 5.0
     incremental_floor = 1.1 if smoke else 1.2
 
-    stats = once(benchmark, _run_comparison, smoke)
+    stats = once(benchmark, _run_comparison, smoke, backend)
     benchmark.extra_info.update(
         {
             key: stats[key]
@@ -264,6 +270,7 @@ def test_scenario_sweep_speedup(benchmark, once, smoke):
                 "satellites",
                 "steps",
                 "scenarios",
+                "backend",
                 "sweep_speedup",
                 "independent_speedup",
                 "incremental_speedup",
@@ -273,7 +280,7 @@ def test_scenario_sweep_speedup(benchmark, once, smoke):
 
     print(
         f"\n{stats['satellites']} satellites, {stats['steps']} steps, "
-        f"{stats['scenarios']} scenarios:"
+        f"{stats['scenarios']} scenarios, backend {stats['backend']}:"
     )
     print(
         f"  seed monolithic runs: {stats['monolithic_s']:.2f} s, "

@@ -12,7 +12,11 @@ Two sweeps, one theme -- how the system responds as demand scales:
    multipliers and allocation policies -- over it with
    ``NetworkSimulator.run_scenarios``, which amortises one batched
    propagation, one vectorised link-feasibility pass and shared per-step
-   routing across every scenario.
+   routing across every scenario.  The sweep routes through the
+   array-native ``csgraph`` backend (one compiled multi-source Dijkstra over
+   the snapshot's CSR edge arrays per step); swap ``backend="networkx"`` in
+   for the pure-python reference -- the statistics are identical either way
+   (see examples/README.md).
 
 The default settings use coarse grids so both sweeps complete in well under
 a minute; ``--full`` switches to the resolutions used by the benchmark
@@ -121,9 +125,12 @@ def traffic_scenario_sweep(designer: ConstellationDesigner) -> None:
 
     print(
         f"\nTraffic scenario sweep over the {outcome.total_satellites}-satellite "
-        "SS constellation (12 h, 2 h steps, one shared snapshot sequence):"
+        "SS constellation (12 h, 2 h steps, one shared snapshot sequence, "
+        "csgraph routing backend):"
     )
-    sweep = simulator.run_scenarios(scenarios, epoch, duration_hours=12.0, step_hours=2.0)
+    sweep = simulator.run_scenarios(
+        scenarios, epoch, duration_hours=12.0, step_hours=2.0, backend="csgraph"
+    )
     rows = [
         [
             name,

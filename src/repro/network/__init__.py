@@ -2,11 +2,25 @@
 
 Inter-satellite link modelling, +Grid topologies for Walker and SS-plane
 constellations (single- and multi-shell), cached incremental snapshot-graph
-sequences, ground stations, snapshot and time-aware routing, capacity
-allocation, demand-aware scheduling, and a staged scenario-sweep simulator
-driven by the gravity traffic model.
+sequences with zero-copy CSR edge-array exports, ground stations, snapshot
+and time-aware routing over pluggable backends (pure-python ``networkx`` or
+array-native ``csgraph``), capacity allocation, demand-aware scheduling, and
+a staged scenario-sweep simulator driven by the gravity traffic model with
+thread- or process-pool parallelism and cross-product design/scenario grids.
 """
 
+from .backends import (
+    BACKENDS,
+    CSGraphBackend,
+    EdgeArrays,
+    NetworkXBackend,
+    NodeIndex,
+    RoutingBackend,
+    SnapshotEdgeList,
+    edge_arrays_from_graph,
+    get_backend,
+    graph_from_edge_arrays,
+)
 from .capacity import (
     ALLOCATORS,
     AllocationResult,
@@ -31,7 +45,13 @@ from .isl import (
 )
 from .routing import RouteResult, SnapshotRouter, TimeAwareRouter
 from .scheduler import PeakShiftScheduler, ScheduleResult
-from .simulation import NetworkSimulator, Scenario, SimulationResult, StepStatistics
+from .simulation import (
+    NetworkSimulator,
+    Scenario,
+    SimulationResult,
+    StepStatistics,
+    run_grid,
+)
 from .topology import (
     ConstellationTopology,
     MultiShellTopology,
@@ -41,6 +61,17 @@ from .topology import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "CSGraphBackend",
+    "EdgeArrays",
+    "NetworkXBackend",
+    "NodeIndex",
+    "RoutingBackend",
+    "SnapshotEdgeList",
+    "edge_arrays_from_graph",
+    "get_backend",
+    "graph_from_edge_arrays",
+    "run_grid",
     "ALLOCATORS",
     "AllocationResult",
     "Flow",

@@ -10,11 +10,14 @@ would be explored:
   planned for in advance rather than reacted to.
 
 Both modes sit on the cached snapshot-sequence engine of
-:mod:`repro.network.topology`: the time-aware router draws its graphs from a
-:class:`~repro.network.topology.SnapshotSequence`, so a whole routing window
-costs one batched propagation plus one vectorised feasibility pass, and
-streaming evaluations (``route_over_time``) reuse the incrementally updated
-graph instead of rebuilding it per step.
+:mod:`repro.network.topology` and delegate the shortest-path kernel to a
+pluggable :class:`~repro.network.backends.RoutingBackend`: the default
+``"networkx"`` backend reproduces the classic per-graph Dijkstra exactly,
+while ``"csgraph"`` routes on the sequence's zero-copy CSR edge arrays with
+one compiled multi-source :func:`scipy.sparse.csgraph.dijkstra` call per
+snapshot -- same routes, a fraction of the per-step cost.  Backends are
+selected by registry name (:data:`repro.network.backends.BACKENDS`) or by
+instance.
 """
 
 from __future__ import annotations
@@ -24,78 +27,94 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from ..orbits.time import Epoch, epoch_range
+from .backends import (
+    EdgeArrays,
+    RouteResult,
+    RoutingBackend,
+    edge_arrays_from_graph,
+    get_backend,
+    graph_from_edge_arrays,
+)
 from .ground_station import GroundStation
 from .topology import ConstellationTopology
 
 __all__ = ["RouteResult", "SnapshotRouter", "TimeAwareRouter"]
 
 
-@dataclass(frozen=True)
-class RouteResult:
-    """A routed path and its figures of merit."""
-
-    path: tuple[int | str, ...]
-    latency_ms: float
-    hop_count: int
-    reachable: bool
-
-    @classmethod
-    def unreachable(cls) -> "RouteResult":
-        """Return the sentinel result for an unreachable destination."""
-        return cls(path=(), latency_ms=float("inf"), hop_count=0, reachable=False)
-
-
-def _path_latency_ms(graph: nx.Graph, path: list) -> float:
-    """Return the total delay of a path on ``graph``."""
-    return sum(
-        graph.edges[path[index], path[index + 1]]["delay_ms"]
-        for index in range(len(path) - 1)
-    )
-
-
 @dataclass
 class SnapshotRouter:
-    """Lowest-latency routing on a single topology snapshot."""
+    """Lowest-latency routing on a single topology snapshot.
 
-    graph: nx.Graph
+    The router is the *snapshot view* handed to routing backends: it holds
+    the graph form, the CSR edge-array form, or both, and lazily derives the
+    missing one on demand, so every backend works however the snapshot was
+    supplied.  Snapshot-sequence consumers should pass the sequence's own
+    :meth:`~repro.network.topology.SnapshotSequence.edge_arrays` export when
+    using an array-native backend -- deriving arrays from a graph falls back
+    to per-edge Python iteration.
+
+    Attributes
+    ----------
+    graph:
+        Snapshot graph with ``delay_ms`` edge attributes (optional if
+        ``arrays`` is given).
+    backend:
+        Routing backend instance or registry name (default ``"networkx"``).
+    arrays:
+        CSR edge arrays of the same snapshot (optional if ``graph`` is
+        given).
+    """
+
+    graph: nx.Graph | None = None
+    backend: str | RoutingBackend = "networkx"
+    arrays: EdgeArrays | None = None
+
+    def __post_init__(self) -> None:
+        self.backend = get_backend(self.backend)
+        if self.graph is None and self.arrays is None:
+            raise ValueError("SnapshotRouter requires a graph or edge arrays")
+
+    # -- snapshot views ----------------------------------------------------------
+
+    def nx_graph(self) -> nx.Graph:
+        """Return the graph view, building it from the arrays if needed."""
+        if self.graph is None:
+            self.graph = graph_from_edge_arrays(self.arrays)
+        return self.graph
+
+    def edge_arrays(self) -> EdgeArrays:
+        """Return the CSR view, building it from the graph if needed."""
+        if self.arrays is None:
+            self.arrays = edge_arrays_from_graph(self.graph)
+        return self.arrays
+
+    # -- routing queries ---------------------------------------------------------
 
     def route(self, source: int | str, destination: int | str) -> RouteResult:
         """Return the minimum-delay route between two nodes."""
-        if source not in self.graph or destination not in self.graph:
-            return RouteResult.unreachable()
-        try:
-            path = nx.shortest_path(self.graph, source, destination, weight="delay_ms")
-        except nx.NetworkXNoPath:
-            return RouteResult.unreachable()
-        return RouteResult(
-            path=tuple(path),
-            latency_ms=_path_latency_ms(self.graph, path),
-            hop_count=len(path) - 1,
-            reachable=True,
-        )
+        return self.backend.route(self, source, destination)
 
     def routes_from(self, source: int | str) -> dict[int | str, RouteResult]:
         """Return minimum-delay routes from ``source`` to every reachable node.
 
-        One single-source Dijkstra covers all destinations, so callers that
+        One single-source search covers all destinations, so callers that
         route many flows out of the same node (the simulator's per-station
         fan-out) pay one search instead of one per flow.  Unreachable nodes
-        are simply absent from the result.
+        are simply absent from the result, which may be a lazily
+        materialising mapping rather than a plain dict.
         """
-        if source not in self.graph:
-            return {}
-        distances, paths = nx.single_source_dijkstra(
-            self.graph, source, weight="delay_ms"
-        )
-        return {
-            destination: RouteResult(
-                path=tuple(path),
-                latency_ms=float(distances[destination]),
-                hop_count=len(path) - 1,
-                reachable=True,
-            )
-            for destination, path in paths.items()
-        }
+        return self.backend.routes_from(self, source)
+
+    def routes_from_many(
+        self, sources: list[int | str]
+    ) -> dict[int | str, dict[int | str, RouteResult]]:
+        """Batched :meth:`routes_from`: one table per requested source.
+
+        Array-native backends fuse the batch into a single compiled
+        multi-source search -- the fast path of the simulator's routing
+        stage.
+        """
+        return self.backend.routes_from_many(self, sources)
 
     def route_between_stations(
         self, source: GroundStation, destination: GroundStation
@@ -116,11 +135,16 @@ class TimeAwareRouter:
         Stations attached to every snapshot.
     step_s:
         Interval between snapshots.
+    backend:
+        Routing backend (instance or registry name) used by
+        :meth:`route_over_time`; array-native backends route straight on the
+        sequence's CSR exports.
     """
 
     topology: ConstellationTopology
     ground_stations: list[GroundStation] = field(default_factory=list)
     step_s: float = 60.0
+    backend: str | RoutingBackend = "networkx"
 
     def _epochs(self, start: Epoch, duration_s: float) -> list[Epoch]:
         if duration_s <= 0 or self.step_s <= 0:
@@ -150,15 +174,30 @@ class TimeAwareRouter:
 
         The result exposes exactly the quantities a time-aware routing study
         needs: per-instant latency, reachability gaps and path churn.  The
-        evaluation streams over the incrementally updated snapshot graph, so
-        no per-step graph copies are made.
+        evaluation streams over the incrementally updated snapshot graph (or,
+        with an array-native backend, over the sequence's per-step CSR
+        exports), so no per-step graph copies are made.
         """
         epochs = self._epochs(start, duration_s)
         sequence = self.topology.snapshot_sequence(epochs, self.ground_stations)
+        backend = get_backend(self.backend)
         results = []
-        for epoch, graph in zip(epochs, sequence.graphs(copy=False)):
-            router = SnapshotRouter(graph)
-            results.append((epoch, router.route_between_stations(source, destination)))
+        if backend.uses_arrays:
+            # Array-native backends never read the graph view; skip the
+            # incremental graph stream entirely.
+            for step, epoch in enumerate(epochs):
+                router = SnapshotRouter(
+                    backend=backend, arrays=sequence.edge_arrays(step)
+                )
+                results.append(
+                    (epoch, router.route_between_stations(source, destination))
+                )
+        else:
+            for epoch, graph in zip(epochs, sequence.graphs(copy=False)):
+                router = SnapshotRouter(graph, backend=backend)
+                results.append(
+                    (epoch, router.route_between_stations(source, destination))
+                )
         return results
 
     @staticmethod

@@ -6,14 +6,20 @@ step:
 1. **snapshot provider** -- per-step graphs stream from a cached
    :class:`~repro.network.topology.SnapshotSequence` (one batched
    ``(T, N, 3)`` propagation plus one vectorised feasibility pass for the
-   whole run, graphs updated incrementally between steps);
+   whole run, graphs updated incrementally between steps); array-native
+   routing backends additionally receive the sequence's per-step CSR edge
+   arrays;
 2. **flow selection** -- the gravity traffic matrix of the step's UTC hour
    (memoised: the diurnal model repeats every 24 h, so a week-long run needs
    24 distinct matrices, not one rebuild per step) is filtered to the
    scenario's ground stations, scaled by its demand multiplier, and reduced
    to the largest ``flows_per_step`` flows;
-3. **routing** -- one single-source Dijkstra per distinct source station
-   covers every flow out of it;
+3. **routing** -- all of the step's distinct source stations are solved in
+   one batched backend call
+   (:meth:`~repro.network.routing.SnapshotRouter.routes_from_many`); the
+   default ``"networkx"`` backend runs one single-source Dijkstra per
+   station, the ``"csgraph"`` backend fuses the whole batch into a single
+   compiled multi-source search over the CSR arrays;
 4. **capacity allocation** -- the scenario's allocator policy
    (:data:`repro.network.capacity.ALLOCATORS`) splits link bandwidth among
    the routed flows;
@@ -24,24 +30,38 @@ step:
 scenario.  The scenario-sweep entry point,
 :meth:`NetworkSimulator.run_scenarios`, evaluates many :class:`Scenario`
 variants (demand multipliers, ground-station subsets, flow budgets,
-allocator policies) over *one* shared snapshot sequence: scenarios with the
-same station subset literally share each per-step graph, so a sweep pays the
-topology cost once instead of once per scenario.  This is the paper's
-Section 5 evaluation methodology -- many traffic scenarios over one
-constellation -- as a first-class API.
+allocator policies, routing backends) over *one* shared snapshot sequence:
+scenarios with the same station subset literally share each per-step graph,
+so a sweep pays the topology cost once instead of once per scenario.  This
+is the paper's Section 5 evaluation methodology -- many traffic scenarios
+over one constellation -- as a first-class API.
+
+Sweeps parallelise two ways.  ``executor="thread"`` (the default) fans the
+per-step scenario evaluations out to a thread pool sharing one snapshot
+stream -- cheap, but GIL-bound.  ``executor="process"`` ships each worker
+its slice of the scenarios plus the picklable per-step
+:class:`~repro.network.backends.SnapshotEdgeList` arrays (a
+:class:`networkx.Graph` would cost an order of magnitude more to serialise)
+and evaluates them on real cores -- the scaling path for hundreds of
+scenarios, best paired with the ``csgraph`` backend.  Finally,
+:func:`run_grid` composes a constellation-design axis with the scenario
+axis into a persisted cross-product sweep.
 """
 
 from __future__ import annotations
 
+import json
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Mapping as MappingType
 
-import networkx as nx
 import numpy as np
 
 from ..demand.traffic_matrix import GravityTrafficModel, TrafficMatrix
 from ..orbits.time import Epoch, epoch_range
+from .backends import RoutingBackend, SnapshotEdgeList, get_backend
 from .capacity import AllocationResult, Flow, get_allocator
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
@@ -52,6 +72,7 @@ __all__ = [
     "StepStatistics",
     "SimulationResult",
     "NetworkSimulator",
+    "run_grid",
 ]
 
 
@@ -73,6 +94,10 @@ class Scenario:
     allocator:
         Capacity-allocation policy name, looked up in
         :data:`repro.network.capacity.ALLOCATORS`.
+    backend:
+        Routing-backend name, looked up in
+        :data:`repro.network.backends.BACKENDS`; ``None`` uses the sweep's
+        default backend.
     """
 
     name: str
@@ -80,6 +105,7 @@ class Scenario:
     ground_station_names: tuple[str, ...] | None = None
     flows_per_step: int | None = None
     allocator: str = "proportional"
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -93,6 +119,8 @@ class Scenario:
                 self, "ground_station_names", tuple(self.ground_station_names)
             )
         get_allocator(self.allocator)  # validate the policy name early
+        if self.backend is not None:
+            get_backend(self.backend)  # validate the backend name early
 
 
 @dataclass(frozen=True)
@@ -141,28 +169,47 @@ class SimulationResult:
 
 
 class _SharedRouteCache:
-    """Per-graph cache of single-source routing results.
+    """Per-snapshot cache of single-source routing tables.
 
-    Scenarios evaluated on the same snapshot graph share one instance, so a
-    sweep pays each source's Dijkstra once per step however many scenarios
-    (or worker threads) consume it.  The lock makes the check-then-compute
-    atomic under ``max_workers`` threading: concurrent scenarios of one group
-    wait for the first computation instead of redundantly repeating it.
+    Scenarios evaluated on the same snapshot share one instance, so a sweep
+    pays each source's shortest-path search once per step however many
+    scenarios (or worker threads) consume it.  The lock makes the
+    check-then-compute atomic under ``max_workers`` threading: concurrent
+    scenarios of one group wait for the first computation instead of
+    redundantly repeating it.
+
+    The cache is only valid for one snapshot, and a sweep owner must call
+    :meth:`reset` when its stream advances to the next step.  (Earlier
+    engine revisions allocated a fresh cache per step instead; making the
+    per-step lifetime an explicit reset keeps one object per scenario group
+    for a whole sweep and guarantees a week-long run never accumulates
+    every step's route tables.)
     """
 
     def __init__(self):
-        self._routes: dict[str, dict] = {}
+        self._routes: dict = {}
         self._lock = threading.Lock()
 
-    def routes_from(self, router: SnapshotRouter, source: str) -> dict:
-        routes = self._routes.get(source)
-        if routes is None:
+    def reset(self) -> None:
+        """Drop every cached table; call when the snapshot advances."""
+        with self._lock:
+            self._routes = {}
+
+    def routes_from_many(self, router: SnapshotRouter, sources: list) -> dict:
+        """Return ``{source: routing table}``, computing the missing sources.
+
+        All sources absent from the cache are solved in one batched
+        :meth:`~repro.network.routing.SnapshotRouter.routes_from_many` call,
+        so array-native backends pay a single multi-source search per step
+        however the consuming scenarios overlap.
+        """
+        missing = [source for source in sources if source not in self._routes]
+        if missing:
             with self._lock:
-                routes = self._routes.get(source)
-                if routes is None:
-                    routes = router.routes_from(source)
-                    self._routes[source] = routes
-        return routes
+                missing = [s for s in dict.fromkeys(missing) if s not in self._routes]
+                if missing:
+                    self._routes.update(router.routes_from_many(missing))
+        return {source: self._routes[source] for source in sources}
 
 
 class _TrafficMatrixCache:
@@ -185,6 +232,104 @@ class _TrafficMatrixCache:
             matrix = self._model.matrix_at(utc_hour)
             self._matrices[key] = matrix
         return matrix
+
+
+class _EdgePairView:
+    """``graph.edges[a, b]`` lookups over a plain capacity dict."""
+
+    def __init__(self, attributes: dict):
+        self._attributes = attributes
+
+    def __getitem__(self, key):
+        a, b = key
+        try:
+            return self._attributes[(a, b)]
+        except KeyError:
+            return self._attributes[(b, a)]
+
+
+class _EdgeListCapacityView:
+    """Duck-types the slice of :class:`networkx.Graph` the allocators touch.
+
+    Capacity allocation only ever calls ``graph.has_edge(a, b)`` and reads
+    ``graph.edges[a, b]["capacity_gbps"]``, so worker processes allocate
+    straight over the shipped :class:`SnapshotEdgeList` arrays instead of
+    materialising a graph -- producing bit-identical allocations.
+    """
+
+    def __init__(self, edge_list: SnapshotEdgeList):
+        labels = edge_list.labels
+        attributes: dict = {}
+        for a, b, capacity in zip(
+            edge_list.a.tolist(), edge_list.b.tolist(), edge_list.capacity_gbps.tolist()
+        ):
+            attributes[(labels[a], labels[b])] = {"capacity_gbps": capacity}
+        self._attributes = attributes
+        self.edges = _EdgePairView(attributes)
+
+    def has_edge(self, a, b) -> bool:
+        return (a, b) in self._attributes or (b, a) in self._attributes
+
+
+@dataclass(frozen=True)
+class _WorkerScenario:
+    """One scenario's fully resolved evaluation spec, shipped to a worker."""
+
+    scenario: Scenario
+    station_names: tuple[str, ...]
+    flows_per_step: int
+    backend: str
+
+
+def _sweep_process_worker(
+    specs: list[_WorkerScenario],
+    edge_lists: dict[tuple[str, ...], list[SnapshotEdgeList]],
+    utc_hours: list[float],
+    traffic_model: GravityTrafficModel,
+) -> dict[str, list[StepStatistics]]:
+    """Evaluate a slice of a sweep's scenarios over shipped edge arrays.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Each worker rebuilds only what its backends need per step -- CSR arrays
+    for ``csgraph``, a routing graph for ``networkx`` -- and allocates over
+    the capacity view, so results are identical to the in-process path.
+    """
+    matrix_cache = _TrafficMatrixCache(traffic_model)
+    results: dict[str, list[StepStatistics]] = {
+        spec.scenario.name: [] for spec in specs
+    }
+    for step, utc_hour in enumerate(utc_hours):
+        matrix = matrix_cache.matrix_at(utc_hour)
+        routers: dict = {}
+        caches: dict = {}
+        views: dict = {}
+        for spec in specs:
+            key = (spec.station_names, spec.backend)
+            if key not in routers:
+                edges = edge_lists[spec.station_names][step]
+                backend = get_backend(spec.backend)
+                if backend.uses_arrays:
+                    routers[key] = SnapshotRouter(backend=backend, arrays=edges.arrays())
+                else:
+                    routers[key] = SnapshotRouter(edges.graph(), backend=backend)
+                caches[key] = _SharedRouteCache()
+            if spec.station_names not in views:
+                views[spec.station_names] = _EdgeListCapacityView(
+                    edge_lists[spec.station_names][step]
+                )
+            results[spec.scenario.name].append(
+                NetworkSimulator._evaluate_scenario_step(
+                    routers[key],
+                    views[spec.station_names],
+                    matrix,
+                    spec.scenario,
+                    spec.station_names,
+                    spec.flows_per_step,
+                    utc_hour,
+                    route_cache=caches[key],
+                )
+            )
+    return results
 
 
 @dataclass
@@ -219,6 +364,7 @@ class NetworkSimulator:
         duration_hours: float,
         step_hours: float = 1.0,
         allocator: str = "proportional",
+        backend: "str | RoutingBackend" = "networkx",
     ) -> SimulationResult:
         """Run a single default scenario and return per-step statistics.
 
@@ -226,7 +372,9 @@ class NetworkSimulator:
         simple entry point.
         """
         scenario = Scenario(name="run", allocator=allocator)
-        return self.run_scenarios([scenario], start, duration_hours, step_hours)["run"]
+        return self.run_scenarios(
+            [scenario], start, duration_hours, step_hours, backend=backend
+        )["run"]
 
     def run_scenarios(
         self,
@@ -235,6 +383,8 @@ class NetworkSimulator:
         duration_hours: float,
         step_hours: float = 1.0,
         max_workers: int | None = None,
+        backend: "str | RoutingBackend" = "networkx",
+        executor: str = "thread",
     ) -> dict[str, SimulationResult]:
         """Run every scenario over one shared snapshot sequence.
 
@@ -242,18 +392,33 @@ class NetworkSimulator:
         propagation and one vectorised link-feasibility pass cover the whole
         sweep, and scenarios whose ground-station subsets coincide share each
         incrementally updated per-step graph outright -- including its routing
-        stage: shortest paths depend only on the graph, so one single-source
-        Dijkstra per station per step serves every scenario of the group,
+        stage: shortest paths depend only on the snapshot, so one batched
+        search per station group per step serves every scenario of the group,
         whatever its demand multiplier, flow budget or allocator.  Results are
         keyed by scenario name, in input order, and are identical to running
         each scenario through an equivalently configured independent
         simulator.
 
-        ``max_workers`` optionally fans the per-step scenario evaluations out
-        to a thread pool; results are deterministic either way.
+        ``backend`` selects the sweep's default routing backend by registry
+        name (:data:`repro.network.backends.BACKENDS`) or instance;
+        individual scenarios may override it via :attr:`Scenario.backend`.
+        The ``"csgraph"`` backend routes on the sequence's CSR edge arrays
+        with one compiled multi-source Dijkstra per station group per step.
+
+        ``max_workers`` optionally fans the scenario evaluations out to a
+        pool.  With ``executor="thread"`` (the default) workers share the
+        in-process snapshot stream; with ``executor="process"`` each worker
+        process receives its slice of the scenarios plus the picklable
+        per-step edge arrays and evaluates them on a separate core -- real
+        multi-core scaling for large sweeps.  Results are deterministic
+        under every executor.
         """
         if duration_hours <= 0 or step_hours <= 0:
             raise ValueError("duration_hours and step_hours must be positive")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         scenarios = list(scenarios)
         if not scenarios:
             raise ValueError("at least one scenario is required")
@@ -261,6 +426,15 @@ class NetworkSimulator:
         if len(set(names)) != len(names):
             raise ValueError("scenario names must be unique")
 
+        default_backend = get_backend(backend)
+        effective_backends = {
+            scenario.name: (
+                get_backend(scenario.backend)
+                if scenario.backend is not None
+                else default_backend
+            )
+            for scenario in scenarios
+        }
         station_subsets = {
             scenario.name: self._station_subset(scenario) for scenario in scenarios
         }
@@ -271,54 +445,170 @@ class NetworkSimulator:
 
         epochs = epoch_range(start, duration_hours * 3600.0, step_hours * 3600.0)
         sequence = self.topology.snapshot_sequence(epochs, union_stations)
+        utc_hours = [
+            (start.fraction_of_day() * 24.0 + index * step_hours) % 24.0
+            for index in range(len(epochs))
+        ]
+
+        if executor == "process" and max_workers is not None and max_workers > 1:
+            return self._run_scenarios_processes(
+                scenarios,
+                station_subsets,
+                effective_backends,
+                sequence,
+                utc_hours,
+                max_workers,
+            )
+
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
 
         # Scenarios with the same station subset share one incremental graph
         # stream; the underlying array work is shared by all streams anyway.
         streams: dict[frozenset[str], object] = {}
+        subset_names: dict[frozenset[str], tuple[str, ...]] = {}
         for scenario in scenarios:
             subset = frozenset(station_subsets[scenario.name])
             if subset not in streams:
+                subset_names[subset] = station_subsets[scenario.name]
                 streams[subset] = sequence.graphs(
                     copy=False, station_names=station_subsets[scenario.name]
                 )
+        # Station groups whose scenarios route on an array-native backend
+        # also get the per-step CSR export.
+        arrays_needed = {
+            frozenset(station_subsets[scenario.name])
+            for scenario in scenarios
+            if effective_backends[scenario.name].uses_arrays
+        }
+        # One route cache per (station group, backend) for the whole sweep,
+        # reset at every step: route tables never outlive their snapshot.
+        router_keys = {
+            scenario.name: (
+                frozenset(station_subsets[scenario.name]),
+                effective_backends[scenario.name].name,
+            )
+            for scenario in scenarios
+        }
+        route_caches = {key: _SharedRouteCache() for key in set(router_keys.values())}
 
         results = {name: SimulationResult() for name in names}
-        executor = (
+        pool = (
             ThreadPoolExecutor(max_workers=max_workers)
             if max_workers is not None and max_workers > 1
             else None
         )
         try:
             for index in range(len(epochs)):
-                utc_hour = (start.fraction_of_day() * 24.0 + index * step_hours) % 24.0
+                utc_hour = utc_hours[index]
                 matrix = matrix_cache.matrix_at(utc_hour)
                 step_graphs = {
                     subset: next(stream) for subset, stream in streams.items()
                 }
-                route_caches = {subset: _SharedRouteCache() for subset in step_graphs}
+                step_arrays = {
+                    subset: sequence.edge_arrays(index, subset_names[subset])
+                    for subset in arrays_needed
+                }
+                routers: dict = {}
+                for scenario in scenarios:
+                    key = router_keys[scenario.name]
+                    if key not in routers:
+                        subset, _ = key
+                        routers[key] = SnapshotRouter(
+                            step_graphs[subset],
+                            backend=effective_backends[scenario.name],
+                            arrays=step_arrays.get(subset),
+                        )
+                for cache in route_caches.values():
+                    cache.reset()
 
                 def _evaluate(scenario: Scenario) -> StepStatistics:
-                    subset = frozenset(station_subsets[scenario.name])
+                    key = router_keys[scenario.name]
                     return self._simulate_step(
-                        step_graphs[subset],
+                        routers[key],
+                        step_graphs[key[0]],
                         matrix,
                         scenario,
                         station_subsets[scenario.name],
                         utc_hour,
-                        route_cache=route_caches[subset],
+                        route_cache=route_caches[key],
                     )
 
-                if executor is not None:
-                    step_stats = list(executor.map(_evaluate, scenarios))
+                if pool is not None:
+                    step_stats = list(pool.map(_evaluate, scenarios))
                 else:
                     step_stats = [_evaluate(scenario) for scenario in scenarios]
                 for scenario, stats in zip(scenarios, step_stats):
                     results[scenario.name].steps.append(stats)
         finally:
-            if executor is not None:
-                executor.shutdown()
+            if pool is not None:
+                pool.shutdown()
         return results
+
+    def _run_scenarios_processes(
+        self,
+        scenarios: list[Scenario],
+        station_subsets: dict[str, tuple[str, ...]],
+        effective_backends: dict[str, RoutingBackend],
+        sequence,
+        utc_hours: list[float],
+        max_workers: int,
+    ) -> dict[str, SimulationResult]:
+        """Fan a sweep out to worker processes over picklable edge arrays."""
+        # Workers resolve backends from the registry by name; an unregistered
+        # instance would be silently swapped for (or fail to resolve to) a
+        # registered one, so reject it here rather than mid-sweep.
+        for scenario in scenarios:
+            backend = effective_backends[scenario.name]
+            try:
+                registered = get_backend(backend.name)
+            except ValueError:
+                registered = None
+            if registered is not backend:
+                raise ValueError(
+                    f"backend {type(backend).__name__!r} (name={backend.name!r}) "
+                    "is not registered in repro.network.backends.BACKENDS; "
+                    "register it or use executor='thread' for instance-based "
+                    "backends"
+                )
+        payloads = {
+            names: sequence.edge_lists(names)
+            for names in set(station_subsets.values())
+        }
+        specs = [
+            _WorkerScenario(
+                scenario=scenario,
+                station_names=station_subsets[scenario.name],
+                flows_per_step=(
+                    scenario.flows_per_step
+                    if scenario.flows_per_step is not None
+                    else self.flows_per_step
+                ),
+                backend=effective_backends[scenario.name].name,
+            )
+            for scenario in scenarios
+        ]
+        chunks = [chunk for chunk in (specs[i::max_workers] for i in range(max_workers)) if chunk]
+        merged: dict[str, list[StepStatistics]] = {}
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_process_worker,
+                    chunk,
+                    {
+                        names: payloads[names]
+                        for names in {spec.station_names for spec in chunk}
+                    },
+                    utc_hours,
+                    self.traffic_model,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:
+                merged.update(future.result())
+        return {
+            scenario.name: SimulationResult(steps=merged[scenario.name])
+            for scenario in scenarios
+        }
 
     # -- pipeline stages ---------------------------------------------------------
 
@@ -336,8 +626,8 @@ class NetworkSimulator:
             )
         return tuple(name for name in available if name in wanted)
 
+    @staticmethod
     def _select_flows(
-        self,
         matrix: TrafficMatrix,
         station_names: tuple[str, ...],
         flows_per_step: int,
@@ -347,7 +637,7 @@ class NetworkSimulator:
         names = set(station_names)
         candidates = [
             (source.name, destination.name, demand * demand_multiplier)
-            for (source, destination, demand) in self._matrix_entries(matrix)
+            for (source, destination, demand) in NetworkSimulator._matrix_entries(matrix)
             if source.name in names and destination.name in names
         ]
         candidates.sort(key=lambda item: item[2], reverse=True)
@@ -355,25 +645,30 @@ class NetworkSimulator:
 
     @staticmethod
     def _route_flows(
-        graph: nx.Graph,
+        router: SnapshotRouter,
         candidate_flows: list[tuple[str, str, float]],
         route_cache: _SharedRouteCache | None = None,
     ) -> tuple[list[Flow], list[float], float]:
-        """Stage 3: route candidates, one Dijkstra per distinct source.
+        """Stage 3: route candidates, one batched backend call per step.
 
+        All distinct sources are handed to the router in a single
+        :meth:`~repro.network.routing.SnapshotRouter.routes_from_many` batch
+        (array-native backends fuse them into one multi-source search).
         ``route_cache`` may be shared by every scenario evaluated on the same
-        graph: shortest paths depend only on the graph, so a sweep pays each
-        single-source search once per step rather than once per scenario.
+        snapshot: shortest paths depend only on the snapshot, so a sweep pays
+        each search once per step rather than once per scenario.
         """
-        router = SnapshotRouter(graph)
         cache = route_cache if route_cache is not None else _SharedRouteCache()
+        sources = list(
+            dict.fromkeys(f"gs:{source}" for source, _, _ in candidate_flows)
+        )
+        tables = cache.routes_from_many(router, sources) if sources else {}
         flows: list[Flow] = []
         latencies: list[float] = []
         offered = 0.0
         for source_name, destination_name, demand in candidate_flows:
             offered += demand
-            source = f"gs:{source_name}"
-            route = cache.routes_from(router, source).get(f"gs:{destination_name}")
+            route = tables[f"gs:{source_name}"].get(f"gs:{destination_name}")
             if route is None:
                 continue
             latencies.append(route.latency_ms)
@@ -388,33 +683,37 @@ class NetworkSimulator:
 
     @staticmethod
     def _allocate(
-        graph: nx.Graph, flows: list[Flow], allocator: str
+        capacity_graph, flows: list[Flow], allocator: str
     ) -> AllocationResult | None:
-        """Stage 4: split link capacity among the routed flows."""
+        """Stage 4: split link capacity among the routed flows.
+
+        ``capacity_graph`` is a :class:`networkx.Graph` or any object
+        duck-typing ``has_edge``/``edges[a, b]`` (the worker processes'
+        :class:`_EdgeListCapacityView`).
+        """
         if not flows:
             return None
-        return get_allocator(allocator)(graph, flows)
+        return get_allocator(allocator)(capacity_graph, flows)
 
-    def _simulate_step(
-        self,
-        graph: nx.Graph,
+    @staticmethod
+    def _evaluate_scenario_step(
+        router: SnapshotRouter,
+        capacity_graph,
         matrix: TrafficMatrix,
         scenario: Scenario,
         station_names: tuple[str, ...],
+        flows_per_step: int,
         utc_hour: float,
         route_cache: _SharedRouteCache | None = None,
     ) -> StepStatistics:
         """Run stages 2-5 of the pipeline for one scenario at one step."""
-        flows_per_step = (
-            scenario.flows_per_step
-            if scenario.flows_per_step is not None
-            else self.flows_per_step
-        )
-        candidate_flows = self._select_flows(
+        candidate_flows = NetworkSimulator._select_flows(
             matrix, station_names, flows_per_step, scenario.demand_multiplier
         )
-        flows, latencies, offered = self._route_flows(graph, candidate_flows, route_cache)
-        allocation = self._allocate(graph, flows, scenario.allocator)
+        flows, latencies, offered = NetworkSimulator._route_flows(
+            router, candidate_flows, route_cache
+        )
+        allocation = NetworkSimulator._allocate(capacity_graph, flows, scenario.allocator)
         delivered = allocation.total_allocated() if allocation else 0.0
         worst_util = allocation.worst_link_utilisation() if allocation else 0.0
         return StepStatistics(
@@ -428,6 +727,33 @@ class NetworkSimulator:
             worst_link_utilisation=worst_util,
         )
 
+    def _simulate_step(
+        self,
+        router: SnapshotRouter,
+        capacity_graph,
+        matrix: TrafficMatrix,
+        scenario: Scenario,
+        station_names: tuple[str, ...],
+        utc_hour: float,
+        route_cache: _SharedRouteCache | None = None,
+    ) -> StepStatistics:
+        """Resolve the scenario's flow budget and evaluate one step."""
+        flows_per_step = (
+            scenario.flows_per_step
+            if scenario.flows_per_step is not None
+            else self.flows_per_step
+        )
+        return self._evaluate_scenario_step(
+            router,
+            capacity_graph,
+            matrix,
+            scenario,
+            station_names,
+            flows_per_step,
+            utc_hour,
+            route_cache=route_cache,
+        )
+
     @staticmethod
     def _matrix_entries(matrix) -> list:
         """Yield (source_city, destination_city, demand) for non-zero entries."""
@@ -438,3 +764,95 @@ class NetworkSimulator:
                 if i != j and demand > 0:
                     entries.append((source, destination, demand))
         return entries
+
+
+def run_grid(
+    designs: "MappingType[str, ConstellationTopology | MultiShellTopology]",
+    scenarios: list[Scenario],
+    ground_stations: list[GroundStation],
+    start: Epoch,
+    duration_hours: float,
+    *,
+    traffic_model: GravityTrafficModel | None = None,
+    step_hours: float = 1.0,
+    flows_per_step: int = 50,
+    backend: "str | RoutingBackend" = "networkx",
+    max_workers: int | None = None,
+    executor: str = "thread",
+    output_path: "str | Path | None" = None,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Cross-product sweep: every constellation design times every scenario.
+
+    Composes the design-layer axis (named topologies -- e.g. the outcome of
+    a bandwidth-multiplier sweep over
+    :class:`repro.core.designer.ConstellationDesigner`) with the
+    traffic-scenario axis: each design runs one shared-sequence
+    :meth:`NetworkSimulator.run_scenarios` sweep over *all* scenarios, and
+    the result is keyed by ``(design_name, scenario_name)``.
+
+    With ``output_path`` the grid is persisted as a JSON document for the
+    analysis layer: one record per cell carrying the summary metrics
+    (mean/worst delivery ratio, mean latency) plus the full per-step
+    statistics, together with the sweep axes and time grid.
+
+    ``backend`` / ``max_workers`` / ``executor`` are forwarded to every
+    per-design sweep, so a large grid can route array-natively and scale
+    over processes.
+    """
+    if not designs:
+        raise ValueError("at least one design is required")
+    cells: dict[tuple[str, str], SimulationResult] = {}
+    for design_name, topology in designs.items():
+        simulator = NetworkSimulator(
+            topology=topology,
+            ground_stations=list(ground_stations),
+            traffic_model=traffic_model
+            if traffic_model is not None
+            else GravityTrafficModel(),
+            flows_per_step=flows_per_step,
+        )
+        sweep = simulator.run_scenarios(
+            scenarios,
+            start,
+            duration_hours,
+            step_hours,
+            max_workers=max_workers,
+            backend=backend,
+            executor=executor,
+        )
+        for scenario_name, result in sweep.items():
+            cells[(design_name, scenario_name)] = result
+    if output_path is not None:
+        def _finite(value: float) -> "float | None":
+            # Unreachable steps carry inf/nan latencies; RFC 8259 has no
+            # such tokens, so persist them as null to keep the file loadable
+            # by any JSON consumer.
+            return value if np.isfinite(value) else None
+
+        def _step_record(step: StepStatistics) -> dict:
+            record = asdict(step)
+            record["mean_latency_ms"] = _finite(step.mean_latency_ms)
+            return record
+
+        document = {
+            "start_jd": start.jd,
+            "duration_hours": duration_hours,
+            "step_hours": step_hours,
+            "designs": list(designs),
+            "scenarios": [scenario.name for scenario in scenarios],
+            "cells": [
+                {
+                    "design": design_name,
+                    "scenario": scenario_name,
+                    "mean_delivery_ratio": result.mean_delivery_ratio(),
+                    "worst_delivery_ratio": result.worst_step().delivery_ratio,
+                    "mean_latency_ms": _finite(result.mean_latency_ms()),
+                    "steps": [_step_record(step) for step in result.steps],
+                }
+                for (design_name, scenario_name), result in cells.items()
+            ],
+        }
+        Path(output_path).write_text(
+            json.dumps(document, indent=2, allow_nan=False)
+        )
+    return cells

@@ -17,12 +17,19 @@ is organised in three tiers:
   selections and ground-station visibility for *all candidate pairs of all
   steps* in numpy array operations -- no per-edge Python feasibility calls.
 
-* **Incremental graphs** -- :meth:`SnapshotSequence.graphs` yields one
-  :class:`networkx.Graph` per step by diffing each step's edge set against
-  the previous one: nodes are inserted once, vanished links are removed,
-  persisting links only have their attributes refreshed.  Rebuilding the
-  graph object from nothing at every step -- the dominant cost of
-  time-stepped simulation once propagation is batched -- is gone.
+* **Incremental graphs and array exports** -- :meth:`SnapshotSequence.graphs`
+  yields one :class:`networkx.Graph` per step by diffing each step's edge set
+  against the previous one: nodes are inserted once, vanished links are
+  removed, persisting links only have their attributes refreshed.  Rebuilding
+  the graph object from nothing at every step -- the dominant cost of
+  time-stepped simulation once propagation is batched -- is gone.  The same
+  per-step link data is also exported as flat arrays without any per-edge
+  Python work: :meth:`SnapshotSequence.edge_arrays` produces the CSR routing
+  view consumed by array-native backends
+  (:class:`repro.network.backends.CSGraphBackend`), and
+  :meth:`SnapshotSequence.edge_list` the picklable
+  :class:`~repro.network.backends.SnapshotEdgeList` shipped to worker
+  processes by the scenario-sweep simulator.
 
 The classic entry points (:meth:`ConstellationTopology.snapshot_graph`,
 :meth:`~ConstellationTopology.snapshot_graphs`,
@@ -48,6 +55,7 @@ import numpy as np
 from ..orbits.elements import OrbitalElements
 from ..orbits.propagation import BatchPropagator
 from ..orbits.time import Epoch
+from .backends import EdgeArrays, SnapshotEdgeList
 from .ground_station import GroundStation, visibility_mask
 from .isl import ISLConfig, isl_feasible_mask, propagation_delay_ms
 
@@ -85,34 +93,40 @@ class _StaticPairs:
 @dataclass(frozen=True)
 class _NearestScan:
     """Candidate links found per step: each ``a`` satellite links to its
-    nearest neighbour among the ``b`` satellites (kept only if feasible)."""
+    ``k`` nearest neighbours among the ``b`` satellites (kept only if
+    feasible)."""
 
     a_indices: np.ndarray  # (Na,) node ids
     b_indices: np.ndarray  # (Nb,) node ids
     config: ISLConfig
+    k: int = 1
 
 
 def _nearest_scan_arrays(
     positions: np.ndarray,
     scan: _NearestScan,
     max_elements: int = 4_000_000,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Evaluate a nearest-neighbour scan over a ``(T, N, 3)`` position stack.
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate a k-nearest-neighbour scan over a ``(T, N, 3)`` position stack.
 
-    Returns ``(b_nearest, distances, feasible)``, each of shape
-    ``(T, len(a_indices))``.  The pairwise distance tensor is evaluated in
-    chunks -- over steps, and within a step over the ``a`` axis when one
-    step's ``|a| * |b|`` block alone exceeds the budget (inter-shell scans of
+    Returns ``(a_ids, b_nearest, distances, feasible)``: ``a_ids`` is the
+    ``(len(a_indices) * k,)`` array of scanning node ids (each repeated ``k``
+    times, ``k`` clamped to ``len(b_indices)``), the other three are
+    ``(T, len(a_indices) * k)`` with each satellite's picks ordered
+    nearest-first.  The pairwise distance tensor is evaluated in chunks --
+    over steps, and within a step over the ``a`` axis when one step's
+    ``|a| * |b|`` block alone exceeds the budget (inter-shell scans of
     10k-satellite shells) -- so memory stays bounded at roughly
     ``max_elements`` floats.
     """
     steps = positions.shape[0]
     count_a = len(scan.a_indices)
     count_b = len(scan.b_indices)
+    k = min(scan.k, count_b)
     step_chunk = max(1, max_elements // max(1, count_a * count_b))
     a_chunk = max(1, max_elements // max(1, count_b))
-    nearest_local = np.empty((steps, count_a), dtype=np.intp)
-    distances = np.empty((steps, count_a))
+    nearest_local = np.empty((steps, count_a, k), dtype=np.intp)
+    distances = np.empty((steps, count_a, k))
     for begin in range(0, steps, step_chunk):
         end = min(steps, begin + step_chunk)
         block_b = positions[begin:end, scan.b_indices, :]
@@ -122,17 +136,36 @@ def _nearest_scan_arrays(
             pairwise = np.linalg.norm(
                 block_b[:, None, :, :] - block_a[:, :, None, :], axis=-1
             )
-            local = np.argmin(pairwise, axis=-1)
+            if k == 1:
+                # argmin, not argpartition: exact ties must keep resolving
+                # to the lowest candidate index, as they always have.
+                local = np.argmin(pairwise, axis=-1)[..., None]
+                picked = np.take_along_axis(pairwise, local, axis=-1)
+            else:
+                local = np.argpartition(pairwise, k - 1, axis=-1)[..., :k]
+                # Ascending-index then stable-by-distance: ties inside the
+                # selection deterministically prefer the lower index.
+                local.sort(axis=-1)
+                picked = np.take_along_axis(pairwise, local, axis=-1)
+                order = np.argsort(picked, axis=-1, kind="stable")
+                local = np.take_along_axis(local, order, axis=-1)
+                picked = np.take_along_axis(picked, order, axis=-1)
             nearest_local[begin:end, a_begin:a_end] = local
-            distances[begin:end, a_begin:a_end] = np.take_along_axis(
-                pairwise, local[..., None], axis=-1
-            )[..., 0]
-    b_nearest = np.asarray(scan.b_indices)[nearest_local]
-    positions_b = np.take_along_axis(positions, b_nearest[..., None], axis=1)
-    feasible = isl_feasible_mask(
-        positions[:, scan.a_indices, :], positions_b, scan.config
+            distances[begin:end, a_begin:a_end] = picked
+    b_nearest = np.asarray(scan.b_indices)[nearest_local]  # (T, A, k)
+    positions_a = positions[:, scan.a_indices, None, :]
+    flat_b = b_nearest.reshape(steps, count_a * k)
+    positions_b = np.take_along_axis(positions, flat_b[..., None], axis=1).reshape(
+        steps, count_a, k, 3
     )
-    return b_nearest, distances, feasible
+    feasible = isl_feasible_mask(positions_a, positions_b, scan.config)
+    a_ids = np.repeat(np.asarray(scan.a_indices), k)
+    return (
+        a_ids,
+        flat_b,
+        distances.reshape(steps, count_a * k),
+        feasible.reshape(steps, count_a * k),
+    )
 
 
 class SnapshotSequence:
@@ -170,8 +203,12 @@ class SnapshotSequence:
 
         # Static pair groups: distances + feasibility for every pair of every
         # step in one broadcastable operation per group.
-        self._static: list[tuple[list[tuple[int, int]], np.ndarray, np.ndarray, float]] = []
-        self._scans: list[tuple[list[int], np.ndarray, np.ndarray, np.ndarray, float]] = []
+        self._static: list[
+            tuple[list[tuple[int, int]], np.ndarray, np.ndarray, np.ndarray, float]
+        ] = []
+        self._scans: list[
+            tuple[list[int], np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]
+        ] = []
         for group in topology.edge_groups():
             if isinstance(group, _StaticPairs):
                 if len(group.pairs) == 0:
@@ -183,6 +220,7 @@ class SnapshotSequence:
                 self._static.append(
                     (
                         [tuple(row) for row in group.pairs.tolist()],
+                        group.pairs,
                         dist,
                         feasible,
                         group.config.capacity_gbps,
@@ -191,10 +229,11 @@ class SnapshotSequence:
             elif isinstance(group, _NearestScan):
                 if len(group.a_indices) == 0 or len(group.b_indices) == 0:
                     continue
-                b_nearest, dist, feasible = _nearest_scan_arrays(positions, group)
+                a_ids, b_nearest, dist, feasible = _nearest_scan_arrays(positions, group)
                 self._scans.append(
                     (
-                        list(group.a_indices.tolist()),
+                        list(a_ids.tolist()),
+                        a_ids,
                         b_nearest,
                         dist,
                         feasible,
@@ -239,13 +278,13 @@ class SnapshotSequence:
         ``(distance_km, delay_ms, capacity_gbps)``.
         """
         edges: dict[tuple, tuple[float, float, float]] = {}
-        for pairs, dist, feasible, capacity in self._static:
+        for pairs, _, dist, feasible, capacity in self._static:
             selected = np.flatnonzero(feasible[step])
             step_dist = dist[step, selected]
             step_delay = propagation_delay_ms(step_dist).tolist()
             for index, d, dl in zip(selected.tolist(), step_dist.tolist(), step_delay):
                 edges[pairs[index]] = (d, dl, capacity)
-        for a_ids, b_nearest, dist, feasible, capacity in self._scans:
+        for a_ids, _, b_nearest, dist, feasible, capacity in self._scans:
             selected = np.flatnonzero(feasible[step])
             step_b = b_nearest[step, selected].tolist()
             step_dist = dist[step, selected]
@@ -278,6 +317,103 @@ class SnapshotSequence:
                 f"stations not part of this sequence: {sorted(unknown)}"
             )
         return [station for station in self._stations if station.name in wanted]
+
+    # -- array production --------------------------------------------------------
+
+    def node_labels(self, station_names: Iterable[str] | None = None) -> tuple:
+        """Return the node-label table of the array views, in row order.
+
+        Satellites come first (rows equal their node ids), followed by the
+        selected ground stations as ``"gs:<name>"`` in sequence order --
+        identical to the node set of the corresponding graph stream.
+        """
+        stations = self._select_stations(station_names)
+        satellite_count = self._topology.satellite_count
+        return tuple(range(satellite_count)) + tuple(
+            f"gs:{station.name}" for station in stations
+        )
+
+    def edge_list(
+        self, step: int, station_names: Iterable[str] | None = None
+    ) -> SnapshotEdgeList:
+        """Return one step's links as flat, picklable endpoint/attribute arrays.
+
+        The export is assembled purely from slices of the precomputed
+        feasibility/distance tensors -- no per-edge Python work -- and each
+        undirected link appears exactly once (duplicate nearest-neighbour
+        picks collapse, as in the graph stream).  This is the payload shipped
+        to worker processes by the scenario-sweep simulator.
+        """
+        stations = self._select_stations(station_names)
+        labels = self.node_labels(station_names)
+        satellite_count = self._topology.satellite_count
+        a_parts: list[np.ndarray] = []
+        b_parts: list[np.ndarray] = []
+        dist_parts: list[np.ndarray] = []
+        cap_parts: list[np.ndarray] = []
+        for _, pairs_arr, dist, feasible, capacity in self._static:
+            selected = np.flatnonzero(feasible[step])
+            a_parts.append(pairs_arr[selected, 0])
+            b_parts.append(pairs_arr[selected, 1])
+            dist_parts.append(dist[step, selected])
+            cap_parts.append(np.full(selected.size, capacity))
+        for _, a_ids, b_nearest, dist, feasible, capacity in self._scans:
+            selected = np.flatnonzero(feasible[step])
+            a_sel = a_ids[selected]
+            b_sel = b_nearest[step, selected]
+            a_parts.append(np.minimum(a_sel, b_sel))
+            b_parts.append(np.maximum(a_sel, b_sel))
+            dist_parts.append(dist[step, selected])
+            cap_parts.append(np.full(selected.size, capacity))
+        for row, station in enumerate(stations):
+            visible, dist, capacity = self._ground[station.name]
+            selected = np.flatnonzero(visible[step])
+            a_parts.append(selected.astype(np.intp))
+            b_parts.append(
+                np.full(selected.size, satellite_count + row, dtype=np.intp)
+            )
+            dist_parts.append(dist[step, selected])
+            cap_parts.append(np.full(selected.size, capacity))
+        a = np.concatenate(a_parts) if a_parts else np.empty(0, dtype=np.intp)
+        b = np.concatenate(b_parts) if b_parts else np.empty(0, dtype=np.intp)
+        distances = np.concatenate(dist_parts) if dist_parts else np.empty(0)
+        capacities = np.concatenate(cap_parts) if cap_parts else np.empty(0)
+        # Canonical endpoints (a <= b throughout) make duplicates, e.g. two
+        # scan directions picking each other, collapse to one stored link.
+        keys = a * len(labels) + b
+        if keys.size and np.unique(keys).size != keys.size:
+            _, first = np.unique(keys, return_index=True)
+            first.sort()
+            a, b = a[first], b[first]
+            distances, capacities = distances[first], capacities[first]
+        return SnapshotEdgeList(
+            labels=labels,
+            a=a,
+            b=b,
+            distance_km=distances,
+            delay_ms=np.asarray(propagation_delay_ms(distances), dtype=float),
+            capacity_gbps=capacities,
+        )
+
+    def edge_arrays(
+        self, step: int, station_names: Iterable[str] | None = None
+    ) -> EdgeArrays:
+        """Return one step's CSR routing view ``(indptr, indices, weights, node_index)``.
+
+        The delay-weighted compressed-sparse-row export consumed by
+        array-native routing backends
+        (:class:`repro.network.backends.CSGraphBackend`): built from the
+        precomputed per-step arrays without any per-edge Python iteration,
+        and -- unlike a :class:`networkx.Graph` -- cheap to pickle across
+        process boundaries.
+        """
+        return self.edge_list(step, station_names).arrays()
+
+    def edge_lists(
+        self, station_names: Iterable[str] | None = None
+    ) -> list[SnapshotEdgeList]:
+        """Return every step's :meth:`edge_list`, in step order."""
+        return [self.edge_list(step, station_names) for step in range(len(self))]
 
     # -- graph production --------------------------------------------------------
 
@@ -560,14 +696,31 @@ class MultiShellTopology(_SnapshotTopologyMixin):
         linked); each propagates from its own reference epoch.
     isl_config:
         Link parameters of the inter-shell links and of ground up/down links.
+    inter_shell_links:
+        Stitching policy between adjacent shells: ``"nearest"`` (the default,
+        one nearest-feasible-neighbour link per satellite per direction) or
+        ``"k-nearest"`` (each satellite links to its ``inter_shell_k``
+        nearest feasible neighbours in the adjacent shell, giving the
+        inter-shell cut redundancy against handoffs).
+    inter_shell_k:
+        Number of neighbours per satellite under the ``"k-nearest"`` policy.
     """
 
     shells: list[ConstellationTopology]
     isl_config: ISLConfig = field(default_factory=ISLConfig)
+    inter_shell_links: str = "nearest"
+    inter_shell_k: int = 2
 
     def __post_init__(self) -> None:
         if not self.shells:
             raise ValueError("multi-shell topology requires at least one shell")
+        if self.inter_shell_links not in ("nearest", "k-nearest"):
+            raise ValueError(
+                "inter_shell_links must be 'nearest' or 'k-nearest', "
+                f"got {self.inter_shell_links!r}"
+            )
+        if self.inter_shell_k < 1:
+            raise ValueError("inter_shell_k must be at least 1")
         self._shell_offsets: list[int] = []
         offset = 0
         for shell in self.shells:
@@ -660,6 +813,7 @@ class MultiShellTopology(_SnapshotTopologyMixin):
                             config=group.config,
                         )
                     )
+        neighbours = 1 if self.inter_shell_links == "nearest" else self.inter_shell_k
         for shell_index in range(self.shell_count - 1):
             lower = np.arange(
                 self._shell_offsets[shell_index],
@@ -673,10 +827,20 @@ class MultiShellTopology(_SnapshotTopologyMixin):
                 dtype=np.intp,
             )
             groups.append(
-                _NearestScan(a_indices=lower, b_indices=upper, config=self.isl_config)
+                _NearestScan(
+                    a_indices=lower,
+                    b_indices=upper,
+                    config=self.isl_config,
+                    k=neighbours,
+                )
             )
             groups.append(
-                _NearestScan(a_indices=upper, b_indices=lower, config=self.isl_config)
+                _NearestScan(
+                    a_indices=upper,
+                    b_indices=lower,
+                    config=self.isl_config,
+                    k=neighbours,
+                )
             )
         return groups
 

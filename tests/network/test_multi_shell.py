@@ -96,6 +96,72 @@ class TestMultiShellGraphs:
             assert set(graph.nodes) == set(reference.nodes)
             assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
 
+    def test_validation_of_link_policy(self, shells):
+        with pytest.raises(ValueError):
+            MultiShellTopology(shells=shells, inter_shell_links="mesh")
+        with pytest.raises(ValueError):
+            MultiShellTopology(
+                shells=shells, inter_shell_links="k-nearest", inter_shell_k=0
+            )
+
+    def test_k_nearest_with_k1_matches_default_nearest(self, shells, multi):
+        """Regression: the default policy is untouched, and k-nearest with
+        k=1 degenerates to exactly the nearest-neighbour stitching."""
+        k1 = MultiShellTopology(
+            shells=shells, inter_shell_links="k-nearest", inter_shell_k=1
+        )
+        graph = k1.snapshot_graph()
+        reference = multi.snapshot_graph()
+        assert set(graph.nodes) == set(reference.nodes)
+        assert set(map(frozenset, graph.edges)) == set(map(frozenset, reference.edges))
+        for a, b, data in reference.edges(data=True):
+            assert graph.edges[a, b] == data
+
+    def test_k_nearest_adds_redundant_inter_shell_links(self, shells, multi):
+        k2 = MultiShellTopology(
+            shells=shells, inter_shell_links="k-nearest", inter_shell_k=2
+        )
+        graph = k2.snapshot_graph()
+        reference = multi.snapshot_graph()
+
+        def split(g):
+            inter, intra = set(), set()
+            for a, b in g.edges:
+                target = inter if g.nodes[a]["shell"] != g.nodes[b]["shell"] else intra
+                target.add(frozenset((a, b)))
+            return inter, intra
+
+        inter_k2, intra_k2 = split(graph)
+        inter_k1, intra_k1 = split(reference)
+        assert intra_k2 == intra_k1, "intra-shell +Grid must be unaffected"
+        assert inter_k1 <= inter_k2, "k-nearest must keep every nearest link"
+        assert len(inter_k2) > len(inter_k1), "k=2 must add redundant links"
+        for key in inter_k2:
+            a, b = tuple(key)
+            assert graph.edges[a, b]["distance_km"] <= k2.isl_config.max_range_km
+
+    def test_k_nearest_links_are_the_nearest_feasible_neighbours(self, shells):
+        from repro.network.isl import isl_feasible
+
+        k2 = MultiShellTopology(
+            shells=shells, inter_shell_links="k-nearest", inter_shell_k=2
+        )
+        graph = k2.snapshot_graph()
+        positions = k2.positions_ecef_km()
+        lower_count = shells[0].satellite_count
+        upper = positions[lower_count:]
+        for sat in range(lower_count):
+            distances = np.linalg.norm(upper - positions[sat], axis=1)
+            for local in np.argsort(distances)[:2]:
+                neighbour = lower_count + int(local)
+                if isl_feasible(
+                    positions[sat], positions[neighbour], k2.isl_config
+                ):
+                    assert graph.has_edge(sat, neighbour), (
+                        f"satellite {sat} is missing a link to near neighbour "
+                        f"{neighbour} of the upper shell"
+                    )
+
     def test_simulates_through_the_same_engine(self, multi, epoch):
         cities = (
             City("London", 51.5, -0.1, 9.6),

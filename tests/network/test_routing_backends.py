@@ -1,0 +1,307 @@
+"""Tests of the pluggable routing backends and the CSR snapshot exports."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.coverage.walker import WalkerDelta
+from repro.network.backends import (
+    BACKENDS,
+    CSGraphBackend,
+    EdgeArrays,
+    NetworkXBackend,
+    NodeIndex,
+    RoutingBackend,
+    edge_arrays_from_graph,
+    get_backend,
+    graph_from_edge_arrays,
+)
+from repro.network.ground_station import GroundStation
+from repro.network.routing import RouteResult, SnapshotRouter, TimeAwareRouter
+from repro.network.topology import ConstellationTopology
+from repro.orbits.time import Epoch, epoch_range
+
+
+def _walker(epoch, satellites, planes, altitude_km=560.0, inclination_deg=65.0):
+    wd = WalkerDelta(
+        altitude_km=altitude_km,
+        inclination_deg=inclination_deg,
+        total_satellites=satellites,
+        planes=planes,
+        phasing=1,
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    return ConstellationTopology(
+        planes=[elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)],
+        epoch=epoch,
+    )
+
+
+def _assert_tables_equivalent(reference, candidate, graph):
+    """Two routing tables must agree on reachability and optimal latency.
+
+    Shortest paths need not be unique (a symmetric intra-plane ring ties
+    exactly), so instead of demanding identical node sequences the candidate
+    path must be *valid* (every hop is a graph edge) and *optimal* (its
+    summed delay equals the reference latency).
+    """
+    assert set(reference) == set(candidate)
+    for destination in reference:
+        expected = reference[destination]
+        actual = candidate[destination]
+        assert actual.reachable == expected.reachable
+        assert actual.latency_ms == pytest.approx(expected.latency_ms, abs=1e-9)
+        assert actual.hop_count == len(actual.path) - 1
+        assert actual.path[0] == expected.path[0]
+        assert actual.path[-1] == destination
+        walked = 0.0
+        for a, b in zip(actual.path, actual.path[1:]):
+            assert graph.has_edge(a, b), (a, b)
+            walked += graph.edges[a, b]["delay_ms"]
+        assert walked == pytest.approx(expected.latency_ms, abs=1e-9)
+
+
+class TestRegistry:
+    def test_backends_registered_by_name(self):
+        assert isinstance(BACKENDS["networkx"], NetworkXBackend)
+        assert isinstance(BACKENDS["csgraph"], CSGraphBackend)
+        assert not BACKENDS["networkx"].uses_arrays
+        assert BACKENDS["csgraph"].uses_arrays
+
+    def test_get_backend_accepts_names_and_instances(self):
+        backend = get_backend("csgraph")
+        assert isinstance(backend, RoutingBackend)
+        assert get_backend(backend) is backend
+
+    def test_get_backend_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown routing backend"):
+            get_backend("quantum")
+
+
+class TestBackendEquivalenceOnRandomSnapshots:
+    """Property-style check: the csgraph backend reproduces the networkx
+    backend's routing tables across randomised constellations, epochs and
+    station sets -- including isolated stations (unreachable pairs)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tables_match_across_random_snapshots(self, seed):
+        rng = np.random.default_rng(seed)
+        epoch = Epoch.from_calendar(2025, 3, 20, 12, 0, 0.0).add_seconds(
+            float(rng.uniform(0.0, 86400.0))
+        )
+        planes = int(rng.integers(4, 9))
+        satellites = planes * int(rng.integers(8, 16))
+        topology = _walker(
+            epoch,
+            satellites,
+            planes,
+            altitude_km=float(rng.uniform(500.0, 1200.0)),
+            inclination_deg=float(rng.uniform(40.0, 90.0)),
+        )
+        stations = [
+            GroundStation("A", float(rng.uniform(-60, 60)), float(rng.uniform(-180, 180))),
+            GroundStation("B", float(rng.uniform(-60, 60)), float(rng.uniform(-180, 180))),
+            # A near-vertical elevation mask keeps this station isolated in
+            # most snapshots: the unreachable-pair half of the property.
+            GroundStation(
+                "isolated",
+                float(rng.uniform(-60, 60)),
+                float(rng.uniform(-180, 180)),
+                min_elevation_deg=89.9,
+            ),
+        ]
+        epochs = epoch_range(epoch, 1800.0, 900.0)
+        sequence = topology.snapshot_sequence(epochs, stations)
+        sources = ["gs:A", "gs:B", "gs:isolated", 0, satellites // 2]
+        saw_unreachable_station = False
+        for step, graph in enumerate(sequence.graphs(copy=True)):
+            reference = SnapshotRouter(graph)
+            candidate = SnapshotRouter(
+                graph, backend="csgraph", arrays=sequence.edge_arrays(step)
+            )
+            nx_tables = reference.routes_from_many(sources)
+            cs_tables = candidate.routes_from_many(sources)
+            for source in sources:
+                _assert_tables_equivalent(nx_tables[source], cs_tables[source], graph)
+            if "gs:A" not in cs_tables["gs:isolated"]:
+                saw_unreachable_station = True
+                unreachable = candidate.route("gs:isolated", "gs:A")
+                assert unreachable == RouteResult.unreachable()
+        assert saw_unreachable_station
+
+    def test_station_pair_routes_match(self, epoch):
+        topology = _walker(epoch, 120, 8)
+        stations = [
+            GroundStation("London", 51.5, -0.1),
+            GroundStation("Tokyo", 35.7, 139.7),
+        ]
+        epochs = epoch_range(epoch, 3600.0, 1200.0)
+        sequence = topology.snapshot_sequence(epochs, stations)
+        for step, graph in enumerate(sequence.graphs(copy=True)):
+            reference = SnapshotRouter(graph).route_between_stations(*stations)
+            candidate = SnapshotRouter(
+                graph, backend="csgraph", arrays=sequence.edge_arrays(step)
+            ).route_between_stations(*stations)
+            assert candidate.reachable == reference.reachable
+            if reference.reachable:
+                assert candidate.latency_ms == pytest.approx(
+                    reference.latency_ms, abs=1e-9
+                )
+                assert candidate.path[0] == reference.path[0]
+                assert candidate.path[-1] == reference.path[-1]
+                assert all(
+                    graph.has_edge(a, b)
+                    for a, b in zip(candidate.path, candidate.path[1:])
+                )
+
+
+class TestBackendEquivalenceOnHandBuiltGraphs:
+    """Edge cases the orbital fixtures cannot force deterministically."""
+
+    def _line_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["gs:src", 0, 1, 2, "gs:dst", "gs:island"])
+        graph.add_edge("gs:src", 0, delay_ms=1.0, capacity_gbps=10.0)
+        graph.add_edge(0, 1, delay_ms=2.0, capacity_gbps=10.0)
+        graph.add_edge(1, 2, delay_ms=3.0, capacity_gbps=10.0)
+        graph.add_edge(2, "gs:dst", delay_ms=4.0, capacity_gbps=10.0)
+        return graph
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_line_graph_routing(self, backend):
+        router = SnapshotRouter(self._line_graph(), backend=backend)
+        result = router.route("gs:src", "gs:dst")
+        assert result.reachable
+        assert result.path == ("gs:src", 0, 1, 2, "gs:dst")
+        assert result.latency_ms == pytest.approx(10.0)
+        assert result.hop_count == 4
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_disconnected_and_unknown_nodes(self, backend):
+        router = SnapshotRouter(self._line_graph(), backend=backend)
+        assert router.route("gs:src", "gs:island") == RouteResult.unreachable()
+        assert router.route("gs:nowhere", "gs:dst") == RouteResult.unreachable()
+        assert router.routes_from("gs:nowhere") == {}
+        table = router.routes_from("gs:island")
+        assert set(table) == {"gs:island"}
+        assert table["gs:island"].latency_ms == 0.0
+        assert table["gs:island"].path == ("gs:island",)
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_zero_weight_and_zero_capacity_edges_are_still_links(self, backend):
+        """Degenerate links (zero delay, zero capacity) must stay routable:
+        capacity never affects path selection, and an explicit zero weight is
+        an edge, not a hole in the sparse matrix."""
+        graph = nx.Graph()
+        graph.add_edge("gs:src", 0, delay_ms=0.0, capacity_gbps=0.0)
+        graph.add_edge(0, "gs:dst", delay_ms=5.0, capacity_gbps=10.0)
+        router = SnapshotRouter(graph, backend=backend)
+        result = router.route("gs:src", "gs:dst")
+        assert result.reachable
+        assert result.path == ("gs:src", 0, "gs:dst")
+        assert result.latency_ms == pytest.approx(5.0)
+
+    def test_lazy_table_matches_dict_semantics(self):
+        graph = self._line_graph()
+        nx_table = SnapshotRouter(graph).routes_from("gs:src")
+        cs_table = SnapshotRouter(graph, backend="csgraph").routes_from("gs:src")
+        assert len(cs_table) == len(nx_table)
+        assert set(cs_table) == set(nx_table)
+        assert cs_table.get("gs:island") is None
+        with pytest.raises(KeyError):
+            cs_table["gs:island"]
+        _assert_tables_equivalent(nx_table, cs_table, graph)
+
+
+class TestEdgeArrays:
+    def test_csr_export_matches_graph(self, epoch):
+        topology = _walker(epoch, 60, 5)
+        stations = [GroundStation("London", 51.5, -0.1)]
+        sequence = topology.snapshot_sequence([epoch], stations)
+        graph = next(sequence.graphs(copy=False))
+        arrays = sequence.edge_arrays(0)
+        assert isinstance(arrays, EdgeArrays)
+        indptr, indices, weights, node_index = arrays  # tuple protocol
+        assert isinstance(node_index, NodeIndex)
+        assert len(indptr) == arrays.node_count + 1
+        assert indptr[0] == 0 and indptr[-1] == len(indices) == len(weights)
+        assert set(node_index.labels) == set(graph.nodes)
+        adjacency = {
+            (node_index.label_of(row), node_index.label_of(int(indices[pos]))): float(
+                weights[pos]
+            )
+            for row in range(arrays.node_count)
+            for pos in range(int(indptr[row]), int(indptr[row + 1]))
+        }
+        # Symmetric: both directions of every graph edge, nothing else.
+        assert len(adjacency) == 2 * graph.number_of_edges()
+        for a, b, data in graph.edges(data=True):
+            assert adjacency[(a, b)] == pytest.approx(data["delay_ms"])
+            assert adjacency[(b, a)] == pytest.approx(data["delay_ms"])
+
+    def test_edge_list_is_picklable_and_round_trips(self, epoch):
+        import pickle
+
+        topology = _walker(epoch, 60, 5)
+        stations = [GroundStation("London", 51.5, -0.1)]
+        sequence = topology.snapshot_sequence([epoch], stations)
+        edge_list = sequence.edge_list(0)
+        clone = pickle.loads(pickle.dumps(edge_list))
+        assert clone.labels == edge_list.labels
+        assert np.array_equal(clone.a, edge_list.a)
+        assert np.array_equal(clone.delay_ms, edge_list.delay_ms)
+        graph = next(sequence.graphs(copy=False))
+        rebuilt = clone.graph()
+        assert set(rebuilt.nodes) == set(graph.nodes)
+        assert set(map(frozenset, rebuilt.edges)) == set(map(frozenset, graph.edges))
+        for a, b, data in graph.edges(data=True):
+            assert rebuilt.edges[a, b] == data
+
+    def test_graph_round_trip_through_arrays(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(["gs:x", 0, 1, 9])
+        graph.add_edge("gs:x", 0, delay_ms=1.5)
+        graph.add_edge(0, 1, delay_ms=2.5)
+        arrays = edge_arrays_from_graph(graph)
+        rebuilt = graph_from_edge_arrays(arrays)
+        assert set(rebuilt.nodes) == set(graph.nodes)
+        assert set(map(frozenset, rebuilt.edges)) == set(map(frozenset, graph.edges))
+        assert rebuilt.edges["gs:x", 0]["delay_ms"] == 1.5
+
+    def test_router_requires_some_snapshot_view(self):
+        with pytest.raises(ValueError, match="graph or edge arrays"):
+            SnapshotRouter()
+
+
+class TestTimeAwareRouterBackends:
+    def test_route_over_time_matches_across_backends(self, epoch):
+        topology = _walker(epoch, 80, 5)
+        stations = [
+            GroundStation("London", 51.5, -0.1),
+            GroundStation("New York", 40.7, -74.0),
+        ]
+        results = {}
+        for backend in sorted(BACKENDS):
+            router = TimeAwareRouter(
+                topology=topology,
+                ground_stations=stations,
+                step_s=600.0,
+                backend=backend,
+            )
+            results[backend] = router.route_over_time(
+                stations[0], stations[1], epoch, duration_s=3000.0
+            )
+        for (epoch_a, nx_result), (epoch_b, cs_result) in zip(
+            results["networkx"], results["csgraph"]
+        ):
+            assert epoch_a == epoch_b
+            assert cs_result.reachable == nx_result.reachable
+            if nx_result.reachable:
+                assert cs_result.latency_ms == pytest.approx(
+                    nx_result.latency_ms, abs=1e-9
+                )
+                assert cs_result.path[0] == nx_result.path[0]
+                assert cs_result.path[-1] == nx_result.path[-1]

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.coverage.walker import WalkerDelta
 from repro.demand.traffic_matrix import City, GravityTrafficModel
 from repro.network.ground_station import GroundStation
-from repro.network.simulation import NetworkSimulator, Scenario
+from repro.network.simulation import NetworkSimulator, Scenario, run_grid
 from repro.network.topology import ConstellationTopology
 
 CITIES = (
@@ -62,6 +65,12 @@ class TestScenarioValidation:
             Scenario(name="x", flows_per_step=0)
         with pytest.raises(ValueError):
             Scenario(name="x", allocator="nope")
+        with pytest.raises(ValueError):
+            Scenario(name="x", backend="nope")
+
+    def test_rejects_unknown_executor(self, simulator, epoch):
+        with pytest.raises(ValueError, match="executor"):
+            simulator.run_scenarios([Scenario(name="a")], epoch, 1.0, executor="fleet")
 
     def test_station_names_normalised_to_tuple(self):
         scenario = Scenario(name="x", ground_station_names=["London", "Tokyo"])
@@ -130,6 +139,212 @@ class TestSweepEquivalence:
         single = simulator.run(epoch, duration_hours=2.0)
         sweep = simulator.run_scenarios([Scenario(name="only")], epoch, duration_hours=2.0)
         assert single.steps == sweep["only"].steps
+
+
+def _assert_step_stats_match(steps_a, steps_b):
+    """Per-step statistics must agree to float round-off."""
+    assert len(steps_a) == len(steps_b)
+    for a, b in zip(steps_a, steps_b):
+        assert a.utc_hour == b.utc_hour
+        assert a.offered_gbps == pytest.approx(b.offered_gbps, rel=1e-12)
+        assert a.delivered_gbps == pytest.approx(b.delivered_gbps, rel=1e-9)
+        assert a.reachable_fraction == b.reachable_fraction
+        if a.mean_latency_ms != b.mean_latency_ms:  # inf compares equal to inf
+            assert a.mean_latency_ms == pytest.approx(b.mean_latency_ms, rel=1e-9)
+        assert a.worst_link_utilisation == pytest.approx(
+            b.worst_link_utilisation, rel=1e-9
+        )
+
+
+class TestBackendSweeps:
+    """The csgraph backend must reproduce the networkx backend's sweep
+    statistics -- delivery ratios, latencies, reachability -- exactly."""
+
+    def test_csgraph_sweep_matches_networkx(self, simulator, epoch):
+        reference = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=3.0)
+        candidate = simulator.run_scenarios(
+            SCENARIOS, epoch, duration_hours=3.0, backend="csgraph"
+        )
+        for name in reference:
+            _assert_step_stats_match(reference[name].steps, candidate[name].steps)
+            assert candidate[name].mean_delivery_ratio() == pytest.approx(
+                reference[name].mean_delivery_ratio(), rel=1e-9
+            )
+
+    def test_per_scenario_backend_override(self, simulator, epoch):
+        mixed = simulator.run_scenarios(
+            [Scenario(name="nx"), Scenario(name="cs", backend="csgraph")],
+            epoch,
+            duration_hours=2.0,
+        )
+        _assert_step_stats_match(mixed["nx"].steps, mixed["cs"].steps)
+
+    def test_run_accepts_backend(self, simulator, epoch):
+        reference = simulator.run(epoch, duration_hours=2.0)
+        candidate = simulator.run(epoch, duration_hours=2.0, backend="csgraph")
+        _assert_step_stats_match(reference.steps, candidate.steps)
+
+
+class TestProcessExecutor:
+    def test_process_sweep_matches_serial_csgraph_exactly(self, simulator, epoch):
+        """csgraph routing is pure array math on identical inputs, so the
+        process pool must reproduce the serial sweep bit for bit."""
+        serial = simulator.run_scenarios(
+            SCENARIOS, epoch, duration_hours=2.0, backend="csgraph"
+        )
+        pooled = simulator.run_scenarios(
+            SCENARIOS,
+            epoch,
+            duration_hours=2.0,
+            backend="csgraph",
+            max_workers=2,
+            executor="process",
+        )
+        for name in serial:
+            assert pooled[name].steps == serial[name].steps
+
+    def test_process_sweep_matches_serial_networkx(self, simulator, epoch):
+        serial = simulator.run_scenarios(SCENARIOS, epoch, duration_hours=2.0)
+        pooled = simulator.run_scenarios(
+            SCENARIOS,
+            epoch,
+            duration_hours=2.0,
+            max_workers=2,
+            executor="process",
+        )
+        for name in serial:
+            _assert_step_stats_match(serial[name].steps, pooled[name].steps)
+
+    def test_process_rejects_unregistered_backend_instances(self, simulator, epoch):
+        """Workers resolve backends by registry name, so an unregistered
+        instance must be refused up front instead of being silently swapped
+        for the registered backend of the same name."""
+        from repro.network.backends import CSGraphBackend
+
+        rogue = CSGraphBackend()  # same name as the registered singleton
+        with pytest.raises(ValueError, match="not registered"):
+            simulator.run_scenarios(
+                [Scenario(name="a")],
+                epoch,
+                1.0,
+                backend=rogue,
+                max_workers=2,
+                executor="process",
+            )
+
+    def test_single_worker_process_request_falls_back_to_serial(
+        self, simulator, epoch
+    ):
+        result = simulator.run_scenarios(
+            [Scenario(name="only")],
+            epoch,
+            duration_hours=1.0,
+            max_workers=1,
+            executor="process",
+        )
+        reference = simulator.run(epoch, duration_hours=1.0)
+        assert result["only"].steps == reference.steps
+
+
+class TestRunGrid:
+    def test_grid_cells_match_per_design_sweeps(
+        self, topology, stations, epoch, tmp_path
+    ):
+        model = GravityTrafficModel(cities=CITIES, total_demand=40.0)
+        small = ConstellationTopology(
+            planes=topology.planes[:5], epoch=epoch, isl_config=topology.isl_config
+        )
+        designs = {"full": topology, "half": small}
+        scenarios = [Scenario(name="base"), Scenario(name="heavy", demand_multiplier=2.0)]
+        output = tmp_path / "grid.json"
+        cells = run_grid(
+            designs,
+            scenarios,
+            stations,
+            epoch,
+            duration_hours=2.0,
+            traffic_model=model,
+            flows_per_step=6,
+            backend="csgraph",
+            output_path=output,
+        )
+        assert set(cells) == {
+            ("full", "base"),
+            ("full", "heavy"),
+            ("half", "base"),
+            ("half", "heavy"),
+        }
+        for design_name, design in designs.items():
+            simulator = NetworkSimulator(
+                topology=design,
+                ground_stations=stations,
+                traffic_model=model,
+                flows_per_step=6,
+            )
+            sweep = simulator.run_scenarios(
+                scenarios, epoch, duration_hours=2.0, backend="csgraph"
+            )
+            for scenario in scenarios:
+                assert cells[(design_name, scenario.name)].steps == sweep[
+                    scenario.name
+                ].steps
+
+        document = json.loads(output.read_text())
+        assert document["designs"] == ["full", "half"]
+        assert document["scenarios"] == ["base", "heavy"]
+        assert len(document["cells"]) == 4
+        by_key = {
+            (cell["design"], cell["scenario"]): cell for cell in document["cells"]
+        }
+        for key, result in cells.items():
+            cell = by_key[key]
+            assert cell["mean_delivery_ratio"] == pytest.approx(
+                result.mean_delivery_ratio()
+            )
+            assert len(cell["steps"]) == len(result.steps)
+            assert cell["steps"][0]["offered_gbps"] == pytest.approx(
+                result.steps[0].offered_gbps
+            )
+
+    def test_grid_requires_designs(self, stations, epoch):
+        with pytest.raises(ValueError):
+            run_grid({}, [Scenario(name="a")], stations, epoch, 1.0)
+
+    def test_grid_json_stays_strict_with_unreachable_steps(
+        self, topology, epoch, tmp_path
+    ):
+        """Unroutable flows leave inf/nan latencies; the persisted JSON must
+        encode them as null, not the non-standard Infinity/NaN tokens."""
+        cities = (CITIES[0], City("Blind", 0.0, 0.0, 10.0))
+        stations = [
+            GroundStation(CITIES[0].name, CITIES[0].latitude_deg, CITIES[0].longitude_deg),
+            # A near-vertical mask keeps this endpoint satellite-less.
+            GroundStation("Blind", 0.0, 0.0, min_elevation_deg=89.9),
+        ]
+        output = tmp_path / "grid.json"
+        cells = run_grid(
+            {"only": topology},
+            [Scenario(name="s")],
+            stations,
+            epoch,
+            duration_hours=1.0,
+            traffic_model=GravityTrafficModel(cities=cities, total_demand=10.0),
+            flows_per_step=4,
+            output_path=output,
+        )
+        assert all(
+            not np.isfinite(step.mean_latency_ms)
+            for step in cells[("only", "s")].steps
+        )
+        document = json.loads(
+            output.read_text(),
+            parse_constant=lambda token: pytest.fail(
+                f"non-strict JSON token {token!r} in grid file"
+            ),
+        )
+        cell = document["cells"][0]
+        assert cell["mean_latency_ms"] is None
+        assert all(step["mean_latency_ms"] is None for step in cell["steps"])
 
 
 class TestTrafficMatrixCache:

@@ -131,6 +131,79 @@ def _circular_plane(raan_deg: float, anomalies_deg: list[float]) -> list[Orbital
     ]
 
 
+class TestNearestScanTieBreaking:
+    """Exact-tie determinism of the (k-)nearest candidate scans.
+
+    Two candidates at bit-identical distance must resolve to the lower
+    index, for the default nearest policy (regression: the k-ary rewrite
+    must not change PR 2's argmin behaviour) and inside k-nearest picks.
+    """
+
+    def _tied_positions(self):
+        # Satellite 0 scans candidates 1-3; candidates 1 and 2 are exactly
+        # 100 km away on opposite sides, candidate 3 is farther.
+        return np.array(
+            [
+                [
+                    [7000.0, 0.0, 0.0],
+                    [7000.0, 100.0, 0.0],
+                    [7000.0, -100.0, 0.0],
+                    [7000.0, 250.0, 0.0],
+                ]
+            ]
+        )
+
+    def test_nearest_resolves_ties_to_lower_index(self):
+        from repro.network.isl import ISLConfig
+        from repro.network.topology import _NearestScan, _nearest_scan_arrays
+
+        scan = _NearestScan(
+            a_indices=np.array([0], dtype=np.intp),
+            b_indices=np.array([1, 2, 3], dtype=np.intp),
+            config=ISLConfig(),
+        )
+        a_ids, b_nearest, distances, feasible = _nearest_scan_arrays(
+            self._tied_positions(), scan
+        )
+        assert list(a_ids) == [0]
+        assert b_nearest[0, 0] == 1
+        assert distances[0, 0] == pytest.approx(100.0)
+        assert feasible[0, 0]
+
+    def test_k_nearest_orders_ties_by_index(self):
+        from repro.network.isl import ISLConfig
+        from repro.network.topology import _NearestScan, _nearest_scan_arrays
+
+        scan = _NearestScan(
+            a_indices=np.array([0], dtype=np.intp),
+            b_indices=np.array([1, 2, 3], dtype=np.intp),
+            config=ISLConfig(),
+            k=2,
+        )
+        a_ids, b_nearest, distances, feasible = _nearest_scan_arrays(
+            self._tied_positions(), scan
+        )
+        assert list(a_ids) == [0, 0]
+        assert list(b_nearest[0]) == [1, 2]
+        assert list(distances[0]) == pytest.approx([100.0, 100.0])
+
+    def test_k_clamps_to_candidate_count(self):
+        from repro.network.isl import ISLConfig
+        from repro.network.topology import _NearestScan, _nearest_scan_arrays
+
+        scan = _NearestScan(
+            a_indices=np.array([0], dtype=np.intp),
+            b_indices=np.array([1, 2, 3], dtype=np.intp),
+            config=ISLConfig(),
+            k=9,
+        )
+        a_ids, b_nearest, distances, _ = _nearest_scan_arrays(
+            self._tied_positions(), scan
+        )
+        assert list(a_ids) == [0, 0, 0]
+        assert list(b_nearest[0]) == [1, 2, 3]
+
+
 class TestInterPlaneSymmetry:
     """Regression: inter-plane links must be scanned in both directions.
 
