@@ -1,12 +1,22 @@
-"""Experiment harness: per-figure data generation, formatting and a CLI runner."""
+"""Experiment harness: per-figure data generation, formatting and a CLI runner.
+
+Also hosts the grid analysis layer: :func:`~repro.analysis.grid.load_grid`
+reads the JSON documents persisted by
+:func:`repro.network.simulation.run_grid` back into
+:class:`~repro.network.simulation.SimulationResult` cells and numpy metric
+surfaces.
+"""
 
 from .experiments import EXPERIMENTS, Experiment, run_experiment
+from .grid import GridDocument, load_grid
 from .report import format_grid_summary, format_series, format_table, scientific
 
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "run_experiment",
+    "GridDocument",
+    "load_grid",
     "format_grid_summary",
     "format_series",
     "format_table",

@@ -4,9 +4,11 @@ Inter-satellite link modelling, +Grid topologies for Walker and SS-plane
 constellations (single- and multi-shell), cached incremental snapshot-graph
 sequences with zero-copy CSR edge-array exports, ground stations, snapshot
 and time-aware routing over pluggable backends (pure-python ``networkx`` or
-array-native ``csgraph``), capacity allocation, demand-aware scheduling, and
-a staged scenario-sweep simulator driven by the gravity traffic model with
-thread- or process-pool parallelism and cross-product design/scenario grids.
+array-native ``csgraph``), capacity allocation, demand-aware scheduling, a
+staged scenario-sweep simulator driven by the gravity traffic model with
+thread- or process-pool parallelism and cross-product design/scenario grids,
+and a fault-injection subsystem (registered fault models compiling to
+vectorised per-step outage masks) with resilience metrics.
 """
 
 from .backends import (
@@ -28,6 +30,15 @@ from .capacity import (
     allocate_max_min,
     allocate_proportional,
     get_allocator,
+)
+from .faults import (
+    FAULT_MODELS,
+    FaultContext,
+    FaultModel,
+    FaultSchedule,
+    FaultSpec,
+    compile_faults,
+    get_fault_model,
 )
 from .ground_station import (
     GroundStation,
@@ -78,6 +89,13 @@ __all__ = [
     "allocate_max_min",
     "allocate_proportional",
     "get_allocator",
+    "FAULT_MODELS",
+    "FaultContext",
+    "FaultModel",
+    "FaultSchedule",
+    "FaultSpec",
+    "compile_faults",
+    "get_fault_model",
     "GroundStation",
     "default_ground_stations",
     "visibility_mask",

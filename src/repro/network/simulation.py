@@ -30,11 +30,19 @@ step:
 scenario.  The scenario-sweep entry point,
 :meth:`NetworkSimulator.run_scenarios`, evaluates many :class:`Scenario`
 variants (demand multipliers, ground-station subsets, flow budgets,
-allocator policies, routing backends) over *one* shared snapshot sequence:
-scenarios with the same station subset literally share each per-step graph,
-so a sweep pays the topology cost once instead of once per scenario.  This
-is the paper's Section 5 evaluation methodology -- many traffic scenarios
-over one constellation -- as a first-class API.
+allocator policies, routing backends, fault-injection specs) over *one*
+shared snapshot sequence: scenarios with the same station subset and fault
+schedule literally share each per-step graph, so a sweep pays the topology
+cost once instead of once per scenario.  This is the paper's Section 5
+evaluation methodology -- many traffic scenarios over one constellation --
+as a first-class API.
+
+Fault scenarios (:mod:`repro.network.faults`) compile to per-step outage
+masks exactly once per sweep, applied on top of the shared sequence's edge
+tensors; the per-step statistics then carry the resilience quantities --
+stranded demand, node up-fractions -- and :class:`SimulationResult` offers
+availability, latency stretch and time-to-recover against a healthy
+baseline run of the same sweep.
 
 Sweeps parallelise two ways.  ``executor="thread"`` (the default) fans the
 per-step scenario evaluations out to a thread pool sharing one snapshot
@@ -63,6 +71,7 @@ from ..demand.traffic_matrix import GravityTrafficModel, TrafficMatrix
 from ..orbits.time import Epoch, epoch_range
 from .backends import RoutingBackend, SnapshotEdgeList, get_backend
 from .capacity import AllocationResult, Flow, get_allocator
+from .faults import FaultContext, FaultSchedule, FaultSpec, compile_faults, normalise_fault_specs
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
 from .topology import ConstellationTopology, MultiShellTopology
@@ -98,6 +107,14 @@ class Scenario:
         Routing-backend name, looked up in
         :data:`repro.network.backends.BACKENDS`; ``None`` uses the sweep's
         default backend.
+    faults:
+        Fault-injection specs applied to this scenario's snapshots, as a
+        tuple of :class:`~repro.network.faults.FaultSpec` (also accepted: a
+        single spec, a bare model name, a ``(name, params)`` pair, or an
+        iterable of those -- normalised here).  ``None`` runs the healthy
+        network.  Specs are validated against
+        :data:`repro.network.faults.FAULT_MODELS` at construction, so a
+        malformed fault scenario fails immediately instead of mid-sweep.
     """
 
     name: str
@@ -106,12 +123,16 @@ class Scenario:
     flows_per_step: int | None = None
     allocator: str = "proportional"
     backend: str | None = None
+    faults: "tuple[FaultSpec, ...] | None" = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
-        if self.demand_multiplier <= 0:
-            raise ValueError("demand_multiplier must be positive")
+        # ``not (x > 0)`` also rejects NaN, which ``x <= 0`` lets through.
+        if not self.demand_multiplier > 0:
+            raise ValueError(
+                f"demand_multiplier must be positive, got {self.demand_multiplier}"
+            )
         if self.flows_per_step is not None and self.flows_per_step <= 0:
             raise ValueError("flows_per_step must be positive")
         if self.ground_station_names is not None:
@@ -121,11 +142,17 @@ class Scenario:
         get_allocator(self.allocator)  # validate the policy name early
         if self.backend is not None:
             get_backend(self.backend)  # validate the backend name early
+        object.__setattr__(self, "faults", normalise_fault_specs(self.faults))
 
 
 @dataclass(frozen=True)
 class StepStatistics:
-    """Network statistics of one simulation step."""
+    """Network statistics of one simulation step.
+
+    The resilience fields (``stranded_gbps`` and the up-fractions) default
+    to their healthy-network values, so fault-free runs and pre-fault
+    consumers are unaffected.
+    """
 
     utc_hour: float
     offered_gbps: float
@@ -133,6 +160,13 @@ class StepStatistics:
     reachable_fraction: float
     mean_latency_ms: float
     worst_link_utilisation: float
+    #: Offered demand [Gbps] that could not be routed at all (disconnected
+    #: endpoints) -- the paper-relevant "stranded demand" under outages.
+    stranded_gbps: float = 0.0
+    #: Fraction of satellites up at this step (1.0 on the healthy network).
+    satellites_up_fraction: float = 1.0
+    #: Fraction of this scenario's ground stations up at this step.
+    stations_up_fraction: float = 1.0
 
     @property
     def delivery_ratio(self) -> float:
@@ -148,10 +182,13 @@ class SimulationResult:
 
     steps: list[StepStatistics] = field(default_factory=list)
 
-    def mean_delivery_ratio(self) -> float:
-        """Return the average delivery ratio over all steps."""
+    def _require_steps(self) -> None:
         if not self.steps:
             raise ValueError("simulation produced no steps")
+
+    def mean_delivery_ratio(self) -> float:
+        """Return the average delivery ratio over all steps."""
+        self._require_steps()
         return float(np.mean([step.delivery_ratio for step in self.steps]))
 
     def mean_latency_ms(self) -> float:
@@ -163,9 +200,74 @@ class SimulationResult:
 
     def worst_step(self) -> StepStatistics:
         """Return the step with the lowest delivery ratio."""
-        if not self.steps:
-            raise ValueError("simulation produced no steps")
+        self._require_steps()
         return min(self.steps, key=lambda step: step.delivery_ratio)
+
+    # -- resilience metrics ------------------------------------------------------
+
+    def availability(self, threshold: float = 0.99) -> float:
+        """Fraction of steps whose delivery ratio meets ``threshold``.
+
+        The service-availability metric of a fault sweep: how much of the
+        run the network delivered (at least) the required fraction of the
+        offered demand.
+        """
+        self._require_steps()
+        return float(
+            np.mean([step.delivery_ratio >= threshold for step in self.steps])
+        )
+
+    def mean_stranded_gbps(self) -> float:
+        """Average demand per step that could not be routed at all."""
+        self._require_steps()
+        return float(np.mean([step.stranded_gbps for step in self.steps]))
+
+    def latency_stretch(self, baseline: "SimulationResult") -> float:
+        """Mean per-step latency ratio against a healthy baseline run.
+
+        Steps where either run has no reachable pair are skipped; with no
+        comparable step at all the stretch is NaN.  Values above 1 mean the
+        surviving traffic takes longer detours around the outages.
+        """
+        if len(baseline.steps) != len(self.steps):
+            raise ValueError(
+                "baseline must cover the same steps as this result "
+                f"({len(baseline.steps)} != {len(self.steps)})"
+            )
+        ratios = [
+            step.mean_latency_ms / reference.mean_latency_ms
+            for step, reference in zip(self.steps, baseline.steps)
+            if np.isfinite(step.mean_latency_ms)
+            and np.isfinite(reference.mean_latency_ms)
+            and reference.mean_latency_ms > 0
+        ]
+        if not ratios:
+            return float("nan")
+        return float(np.mean(ratios))
+
+    def time_to_recover_steps(
+        self, baseline: "SimulationResult", tolerance: float = 0.02
+    ) -> int:
+        """Longest stretch of steps degraded below the healthy baseline.
+
+        A step counts as degraded when its delivery ratio falls more than
+        ``tolerance`` below the baseline's ratio at the same step; the
+        longest contiguous degraded run is the worst-case time to recover,
+        in steps (0 when the run never degrades).
+        """
+        if len(baseline.steps) != len(self.steps):
+            raise ValueError(
+                "baseline must cover the same steps as this result "
+                f"({len(baseline.steps)} != {len(self.steps)})"
+            )
+        worst = current = 0
+        for step, reference in zip(self.steps, baseline.steps):
+            if reference.delivery_ratio - step.delivery_ratio > tolerance:
+                current += 1
+                worst = max(worst, current)
+            else:
+                current = 0
+        return worst
 
 
 class _SharedRouteCache:
@@ -273,17 +375,26 @@ class _EdgeListCapacityView:
 
 @dataclass(frozen=True)
 class _WorkerScenario:
-    """One scenario's fully resolved evaluation spec, shipped to a worker."""
+    """One scenario's fully resolved evaluation spec, shipped to a worker.
+
+    ``group_index`` identifies the scenario's (station subset, fault
+    schedule) snapshot group: fault masks are compiled by the driver and
+    pre-applied to the shipped edge lists, so workers never run fault code
+    -- they only carry the per-step up-fractions for the statistics.
+    """
 
     scenario: Scenario
     station_names: tuple[str, ...]
     flows_per_step: int
     backend: str
+    group_index: int
+    satellites_up: tuple[float, ...] | None = None
+    stations_up: tuple[float, ...] | None = None
 
 
 def _sweep_process_worker(
     specs: list[_WorkerScenario],
-    edge_lists: dict[tuple[str, ...], list[SnapshotEdgeList]],
+    edge_lists: dict[int, list[SnapshotEdgeList]],
     utc_hours: list[float],
     traffic_model: GravityTrafficModel,
 ) -> dict[str, list[StepStatistics]]:
@@ -293,6 +404,8 @@ def _sweep_process_worker(
     Each worker rebuilds only what its backends need per step -- CSR arrays
     for ``csgraph``, a routing graph for ``networkx`` -- and allocates over
     the capacity view, so results are identical to the in-process path.
+    ``edge_lists`` is keyed by snapshot group (station subset plus fault
+    schedule); masked groups ship already-degraded arrays.
     """
     matrix_cache = _TrafficMatrixCache(traffic_model)
     results: dict[str, list[StepStatistics]] = {
@@ -304,29 +417,35 @@ def _sweep_process_worker(
         caches: dict = {}
         views: dict = {}
         for spec in specs:
-            key = (spec.station_names, spec.backend)
+            key = (spec.group_index, spec.backend)
             if key not in routers:
-                edges = edge_lists[spec.station_names][step]
+                edges = edge_lists[spec.group_index][step]
                 backend = get_backend(spec.backend)
                 if backend.uses_arrays:
                     routers[key] = SnapshotRouter(backend=backend, arrays=edges.arrays())
                 else:
                     routers[key] = SnapshotRouter(edges.graph(), backend=backend)
                 caches[key] = _SharedRouteCache()
-            if spec.station_names not in views:
-                views[spec.station_names] = _EdgeListCapacityView(
-                    edge_lists[spec.station_names][step]
+            if spec.group_index not in views:
+                views[spec.group_index] = _EdgeListCapacityView(
+                    edge_lists[spec.group_index][step]
                 )
             results[spec.scenario.name].append(
                 NetworkSimulator._evaluate_scenario_step(
                     routers[key],
-                    views[spec.station_names],
+                    views[spec.group_index],
                     matrix,
                     spec.scenario,
                     spec.station_names,
                     spec.flows_per_step,
                     utc_hour,
                     route_cache=caches[key],
+                    satellites_up_fraction=(
+                        spec.satellites_up[step] if spec.satellites_up else 1.0
+                    ),
+                    stations_up_fraction=(
+                        spec.stations_up[step] if spec.stations_up else 1.0
+                    ),
                 )
             )
     return results
@@ -390,14 +509,16 @@ class NetworkSimulator:
 
         All scenarios see the same constellation kinematics: one batched
         propagation and one vectorised link-feasibility pass cover the whole
-        sweep, and scenarios whose ground-station subsets coincide share each
-        incrementally updated per-step graph outright -- including its routing
-        stage: shortest paths depend only on the snapshot, so one batched
-        search per station group per step serves every scenario of the group,
-        whatever its demand multiplier, flow budget or allocator.  Results are
-        keyed by scenario name, in input order, and are identical to running
-        each scenario through an equivalently configured independent
-        simulator.
+        sweep, and scenarios whose ground-station subsets *and* fault specs
+        coincide share each incrementally updated per-step graph outright --
+        including its routing stage: shortest paths depend only on the
+        snapshot, so one batched search per snapshot group per step serves
+        every scenario of the group, whatever its demand multiplier, flow
+        budget or allocator.  Fault specs (:attr:`Scenario.faults`) compile
+        once per distinct spec tuple into vectorised outage masks applied on
+        top of the shared edge tensors.  Results are keyed by scenario name,
+        in input order, and are identical to running each scenario through
+        an equivalently configured independent simulator.
 
         ``backend`` selects the sweep's default routing backend by registry
         name (:data:`repro.network.backends.BACKENDS`) or instance;
@@ -450,11 +571,37 @@ class NetworkSimulator:
             for index in range(len(epochs))
         ]
 
+        # Fault schedules are compiled exactly once per distinct (station
+        # subset, spec tuple) -- by the driver, never by a worker -- so every
+        # executor and both backends apply bit-identical masks.  Compiling
+        # against the scenario's *own* subset (not the sweep union) keeps
+        # every result identical to an independent simulator's: adding an
+        # unrelated scenario to a sweep can never shift another scenario's
+        # station-outage windows or random draws.  The expensive derived
+        # caches (position stack, group keys) are shared across subsets.
+        base_context = FaultContext(self.topology, epochs)
+        fault_contexts: dict[tuple[str, ...], FaultContext] = {}
+        schedules: dict[tuple, FaultSchedule | None] = {}
+        for scenario in scenarios:
+            subset = station_subsets[scenario.name]
+            key = (subset, scenario.faults)
+            if key in schedules:
+                continue
+            if scenario.faults is None:
+                schedules[key] = None
+                continue
+            context = fault_contexts.get(subset)
+            if context is None:
+                context = base_context.with_stations(subset)
+                fault_contexts[subset] = context
+            schedules[key] = compile_faults(scenario.faults, context)
+
         if executor == "process" and max_workers is not None and max_workers > 1:
             return self._run_scenarios_processes(
                 scenarios,
                 station_subsets,
                 effective_backends,
+                schedules,
                 sequence,
                 utc_hours,
                 max_workers,
@@ -462,29 +609,39 @@ class NetworkSimulator:
 
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
 
-        # Scenarios with the same station subset share one incremental graph
-        # stream; the underlying array work is shared by all streams anyway.
-        streams: dict[frozenset[str], object] = {}
-        subset_names: dict[frozenset[str], tuple[str, ...]] = {}
+        # Scenarios with the same (station subset, fault schedule) share one
+        # incremental graph stream; the underlying array work is shared by
+        # all streams anyway.
+        streams: dict[tuple, object] = {}
+        group_subsets: dict[tuple, tuple[str, ...]] = {}
         for scenario in scenarios:
-            subset = frozenset(station_subsets[scenario.name])
-            if subset not in streams:
-                subset_names[subset] = station_subsets[scenario.name]
-                streams[subset] = sequence.graphs(
-                    copy=False, station_names=station_subsets[scenario.name]
+            group = (
+                frozenset(station_subsets[scenario.name]),
+                scenario.faults,
+            )
+            if group not in streams:
+                group_subsets[group] = station_subsets[scenario.name]
+                streams[group] = sequence.graphs(
+                    copy=False,
+                    station_names=station_subsets[scenario.name],
+                    faults=schedules[
+                        (station_subsets[scenario.name], scenario.faults)
+                    ],
                 )
-        # Station groups whose scenarios route on an array-native backend
-        # also get the per-step CSR export.
+        # Snapshot groups whose scenarios route on an array-native backend
+        # also get the per-step CSR export (masked the same way).
         arrays_needed = {
-            frozenset(station_subsets[scenario.name])
+            (frozenset(station_subsets[scenario.name]), scenario.faults)
             for scenario in scenarios
             if effective_backends[scenario.name].uses_arrays
         }
-        # One route cache per (station group, backend) for the whole sweep,
-        # reset at every step: route tables never outlive their snapshot.
+        # One route cache per (snapshot group, backend) for the whole sweep,
+        # reset at every step: route tables never outlive their snapshot --
+        # and fault-perturbed groups never share tables with healthy ones.
         router_keys = {
             scenario.name: (
                 frozenset(station_subsets[scenario.name]),
+                scenario.faults,
                 effective_backends[scenario.name].name,
             )
             for scenario in scenarios
@@ -502,35 +659,54 @@ class NetworkSimulator:
                 utc_hour = utc_hours[index]
                 matrix = matrix_cache.matrix_at(utc_hour)
                 step_graphs = {
-                    subset: next(stream) for subset, stream in streams.items()
+                    group: next(stream) for group, stream in streams.items()
                 }
                 step_arrays = {
-                    subset: sequence.edge_arrays(index, subset_names[subset])
-                    for subset in arrays_needed
+                    group: sequence.edge_arrays(
+                        index,
+                        group_subsets[group],
+                        faults=schedules[(group_subsets[group], group[1])],
+                    )
+                    for group in arrays_needed
                 }
                 routers: dict = {}
                 for scenario in scenarios:
                     key = router_keys[scenario.name]
                     if key not in routers:
-                        subset, _ = key
+                        group = key[:2]
                         routers[key] = SnapshotRouter(
-                            step_graphs[subset],
+                            step_graphs[group],
                             backend=effective_backends[scenario.name],
-                            arrays=step_arrays.get(subset),
+                            arrays=step_arrays.get(group),
                         )
                 for cache in route_caches.values():
                     cache.reset()
 
                 def _evaluate(scenario: Scenario) -> StepStatistics:
                     key = router_keys[scenario.name]
+                    schedule = schedules[
+                        (station_subsets[scenario.name], scenario.faults)
+                    ]
                     return self._simulate_step(
                         routers[key],
-                        step_graphs[key[0]],
+                        step_graphs[key[:2]],
                         matrix,
                         scenario,
                         station_subsets[scenario.name],
                         utc_hour,
                         route_cache=route_caches[key],
+                        satellites_up_fraction=(
+                            schedule.satellites_up_fraction(index)
+                            if schedule is not None
+                            else 1.0
+                        ),
+                        stations_up_fraction=(
+                            schedule.stations_up_fraction(
+                                index, station_subsets[scenario.name]
+                            )
+                            if schedule is not None
+                            else 1.0
+                        ),
                     )
 
                 if pool is not None:
@@ -549,11 +725,18 @@ class NetworkSimulator:
         scenarios: list[Scenario],
         station_subsets: dict[str, tuple[str, ...]],
         effective_backends: dict[str, RoutingBackend],
+        schedules: dict,
         sequence,
         utc_hours: list[float],
         max_workers: int,
     ) -> dict[str, SimulationResult]:
-        """Fan a sweep out to worker processes over picklable edge arrays."""
+        """Fan a sweep out to worker processes over picklable edge arrays.
+
+        Fault masks are applied to the edge lists *before* shipping, so a
+        worker evaluating a faulted scenario receives the identical degraded
+        arrays the serial path routes on -- fault sweeps are bit-identical
+        across executors by construction.
+        """
         # Workers resolve backends from the registry by name; an unregistered
         # instance would be silently swapped for (or fail to resolve to) a
         # registered one, so reject it here rather than mid-sweep.
@@ -570,23 +753,48 @@ class NetworkSimulator:
                     "register it or use executor='thread' for instance-based "
                     "backends"
                 )
-        payloads = {
-            names: sequence.edge_lists(names)
-            for names in set(station_subsets.values())
-        }
-        specs = [
-            _WorkerScenario(
-                scenario=scenario,
-                station_names=station_subsets[scenario.name],
-                flows_per_step=(
-                    scenario.flows_per_step
-                    if scenario.flows_per_step is not None
-                    else self.flows_per_step
-                ),
-                backend=effective_backends[scenario.name].name,
+        steps = len(utc_hours)
+        group_indices: dict[tuple, int] = {}
+        payloads: dict[int, list[SnapshotEdgeList]] = {}
+        specs = []
+        for scenario in scenarios:
+            subset = station_subsets[scenario.name]
+            group = (subset, scenario.faults)
+            if group not in group_indices:
+                group_indices[group] = len(group_indices)
+                payloads[group_indices[group]] = sequence.edge_lists(
+                    subset, faults=schedules[group]
+                )
+            schedule = schedules[group]
+            specs.append(
+                _WorkerScenario(
+                    scenario=scenario,
+                    station_names=subset,
+                    flows_per_step=(
+                        scenario.flows_per_step
+                        if scenario.flows_per_step is not None
+                        else self.flows_per_step
+                    ),
+                    backend=effective_backends[scenario.name].name,
+                    group_index=group_indices[group],
+                    satellites_up=(
+                        tuple(
+                            schedule.satellites_up_fraction(step)
+                            for step in range(steps)
+                        )
+                        if schedule is not None
+                        else None
+                    ),
+                    stations_up=(
+                        tuple(
+                            schedule.stations_up_fraction(step, subset)
+                            for step in range(steps)
+                        )
+                        if schedule is not None
+                        else None
+                    ),
+                )
             )
-            for scenario in scenarios
-        ]
         chunks = [chunk for chunk in (specs[i::max_workers] for i in range(max_workers)) if chunk]
         merged: dict[str, list[StepStatistics]] = {}
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
@@ -595,8 +803,8 @@ class NetworkSimulator:
                     _sweep_process_worker,
                     chunk,
                     {
-                        names: payloads[names]
-                        for names in {spec.station_names for spec in chunk}
+                        index: payloads[index]
+                        for index in {spec.group_index for spec in chunk}
                     },
                     utc_hours,
                     self.traffic_model,
@@ -705,6 +913,8 @@ class NetworkSimulator:
         flows_per_step: int,
         utc_hour: float,
         route_cache: _SharedRouteCache | None = None,
+        satellites_up_fraction: float = 1.0,
+        stations_up_fraction: float = 1.0,
     ) -> StepStatistics:
         """Run stages 2-5 of the pipeline for one scenario at one step."""
         candidate_flows = NetworkSimulator._select_flows(
@@ -716,6 +926,7 @@ class NetworkSimulator:
         allocation = NetworkSimulator._allocate(capacity_graph, flows, scenario.allocator)
         delivered = allocation.total_allocated() if allocation else 0.0
         worst_util = allocation.worst_link_utilisation() if allocation else 0.0
+        routed = sum(flow.demand_gbps for flow in flows)
         return StepStatistics(
             utc_hour=utc_hour,
             offered_gbps=offered,
@@ -725,6 +936,9 @@ class NetworkSimulator:
             ),
             mean_latency_ms=float(np.mean(latencies)) if latencies else float("inf"),
             worst_link_utilisation=worst_util,
+            stranded_gbps=max(0.0, offered - routed),
+            satellites_up_fraction=satellites_up_fraction,
+            stations_up_fraction=stations_up_fraction,
         )
 
     def _simulate_step(
@@ -736,6 +950,8 @@ class NetworkSimulator:
         station_names: tuple[str, ...],
         utc_hour: float,
         route_cache: _SharedRouteCache | None = None,
+        satellites_up_fraction: float = 1.0,
+        stations_up_fraction: float = 1.0,
     ) -> StepStatistics:
         """Resolve the scenario's flow budget and evaluate one step."""
         flows_per_step = (
@@ -752,6 +968,8 @@ class NetworkSimulator:
             flows_per_step,
             utc_hour,
             route_cache=route_cache,
+            satellites_up_fraction=satellites_up_fraction,
+            stations_up_fraction=stations_up_fraction,
         )
 
     @staticmethod

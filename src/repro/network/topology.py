@@ -29,7 +29,11 @@ is organised in three tiers:
   (:class:`repro.network.backends.CSGraphBackend`), and
   :meth:`SnapshotSequence.edge_list` the picklable
   :class:`~repro.network.backends.SnapshotEdgeList` shipped to worker
-  processes by the scenario-sweep simulator.
+  processes by the scenario-sweep simulator.  Every producer optionally
+  applies a compiled :class:`~repro.network.faults.FaultSchedule` on top of
+  the feasibility tensors -- links touching a down satellite or ground
+  station vanish, degraded nodes scale their links' capacity -- so fault
+  scenarios reuse the same precomputed kinematics as healthy ones.
 
 The classic entry points (:meth:`ConstellationTopology.snapshot_graph`,
 :meth:`~ConstellationTopology.snapshot_graphs`,
@@ -47,6 +51,7 @@ implications this layer lets users explore.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
@@ -56,6 +61,7 @@ from ..orbits.elements import OrbitalElements
 from ..orbits.propagation import BatchPropagator
 from ..orbits.time import Epoch
 from .backends import EdgeArrays, SnapshotEdgeList
+from .faults import FaultSchedule
 from .ground_station import GroundStation, visibility_mask
 from .isl import ISLConfig, isl_feasible_mask, propagation_delay_ms
 
@@ -268,41 +274,120 @@ class SnapshotSequence:
 
     # -- per-step edge sets ------------------------------------------------------
 
+    def _check_faults(
+        self, faults: FaultSchedule | None, stations: list[GroundStation]
+    ) -> None:
+        """Reject schedules that do not match this grid and station selection.
+
+        Coverage is checked against the *selected* stations only: schedules
+        are compiled per scenario station subset, so a subset stream may
+        legitimately carry a schedule narrower than the whole sequence.
+        """
+        if faults is None:
+            return
+        if faults.steps != len(self):
+            raise ValueError(
+                f"fault schedule covers {faults.steps} steps but the sequence "
+                f"has {len(self)}"
+            )
+        if faults.satellite_count != self._topology.satellite_count:
+            raise ValueError(
+                f"fault schedule covers {faults.satellite_count} satellites but "
+                f"the topology has {self._topology.satellite_count}"
+            )
+        missing = {station.name for station in stations} - set(faults.station_names)
+        if missing:
+            raise ValueError(
+                f"fault schedule does not cover stations {sorted(missing)}"
+            )
+
     def _edges_at(
-        self, step: int, stations: list[GroundStation]
+        self,
+        step: int,
+        stations: list[GroundStation],
+        faults: FaultSchedule | None = None,
     ) -> dict[tuple, tuple[float, float, float]]:
         """Return the canonical edge set of one step.
 
         Keys are ``(a, b)`` with satellite pairs sorted ascending and ground
         links keyed ``("gs:<name>", sat)``; values are
-        ``(distance_km, delay_ms, capacity_gbps)``.
+        ``(distance_km, delay_ms, capacity_gbps)``.  With ``faults``, links
+        touching a down node are dropped and capacities are scaled by the
+        worse endpoint's degradation factor -- all in the same vectorised
+        selection that applies the feasibility masks.
         """
+        sat_up = faults.satellite_up[step] if faults is not None else None
+        sat_factor = faults.satellite_factor[step] if faults is not None else None
         edges: dict[tuple, tuple[float, float, float]] = {}
-        for pairs, _, dist, feasible, capacity in self._static:
-            selected = np.flatnonzero(feasible[step])
+        for pairs, pairs_arr, dist, feasible, capacity in self._static:
+            mask = feasible[step]
+            if sat_up is not None:
+                mask = mask & sat_up[pairs_arr[:, 0]] & sat_up[pairs_arr[:, 1]]
+            selected = np.flatnonzero(mask)
             step_dist = dist[step, selected]
             step_delay = propagation_delay_ms(step_dist).tolist()
-            for index, d, dl in zip(selected.tolist(), step_dist.tolist(), step_delay):
-                edges[pairs[index]] = (d, dl, capacity)
-        for a_ids, _, b_nearest, dist, feasible, capacity in self._scans:
-            selected = np.flatnonzero(feasible[step])
+            if sat_factor is None:
+                caps = repeat(capacity)
+            else:
+                caps = (
+                    capacity
+                    * np.minimum(
+                        sat_factor[pairs_arr[selected, 0]],
+                        sat_factor[pairs_arr[selected, 1]],
+                    )
+                ).tolist()
+            for index, d, dl, c in zip(
+                selected.tolist(), step_dist.tolist(), step_delay, caps
+            ):
+                edges[pairs[index]] = (d, dl, c)
+        for a_ids, a_arr, b_nearest, dist, feasible, capacity in self._scans:
+            mask = feasible[step]
+            if sat_up is not None:
+                mask = mask & sat_up[a_arr] & sat_up[b_nearest[step]]
+            selected = np.flatnonzero(mask)
             step_b = b_nearest[step, selected].tolist()
             step_dist = dist[step, selected]
             step_delay = propagation_delay_ms(step_dist).tolist()
-            for index, b, d, dl in zip(
-                selected.tolist(), step_b, step_dist.tolist(), step_delay
+            if sat_factor is None:
+                caps = repeat(capacity)
+            else:
+                caps = (
+                    capacity
+                    * np.minimum(
+                        sat_factor[a_arr[selected]],
+                        sat_factor[b_nearest[step, selected]],
+                    )
+                ).tolist()
+            for index, b, d, dl, c in zip(
+                selected.tolist(), step_b, step_dist.tolist(), step_delay, caps
             ):
                 a = a_ids[index]
                 key = (a, b) if a <= b else (b, a)
-                edges[key] = (d, dl, capacity)
+                edges[key] = (d, dl, c)
         for station in stations:
             visible, dist, capacity = self._ground[station.name]
             gs_node = f"gs:{station.name}"
-            selected = np.flatnonzero(visible[step])
+            mask = visible[step]
+            station_factor = 1.0
+            if faults is not None:
+                column = faults.station_column(station.name)
+                if not faults.station_up[step, column]:
+                    continue
+                station_factor = float(faults.station_factor[step, column])
+                mask = mask & sat_up
+            selected = np.flatnonzero(mask)
             step_dist = dist[step, selected]
             step_delay = propagation_delay_ms(step_dist).tolist()
-            for sat, d, dl in zip(selected.tolist(), step_dist.tolist(), step_delay):
-                edges[(gs_node, sat)] = (d, dl, capacity)
+            if sat_factor is None:
+                caps = repeat(capacity)
+            else:
+                caps = (
+                    capacity * np.minimum(station_factor, sat_factor[selected])
+                ).tolist()
+            for sat, d, dl, c in zip(
+                selected.tolist(), step_dist.tolist(), step_delay, caps
+            ):
+                edges[(gs_node, sat)] = (d, dl, c)
         return edges
 
     def _select_stations(
@@ -334,7 +419,10 @@ class SnapshotSequence:
         )
 
     def edge_list(
-        self, step: int, station_names: Iterable[str] | None = None
+        self,
+        step: int,
+        station_names: Iterable[str] | None = None,
+        faults: FaultSchedule | None = None,
     ) -> SnapshotEdgeList:
         """Return one step's links as flat, picklable endpoint/attribute arrays.
 
@@ -342,38 +430,77 @@ class SnapshotSequence:
         feasibility/distance tensors -- no per-edge Python work -- and each
         undirected link appears exactly once (duplicate nearest-neighbour
         picks collapse, as in the graph stream).  This is the payload shipped
-        to worker processes by the scenario-sweep simulator.
+        to worker processes by the scenario-sweep simulator.  With ``faults``
+        the outage masks of a :class:`~repro.network.faults.FaultSchedule`
+        are applied in the same vectorised selection: links touching a down
+        node vanish, capacities scale by the worse endpoint's factor -- so a
+        pre-masked payload reaches the workers and every executor sees the
+        identical degraded network.
         """
         stations = self._select_stations(station_names)
+        self._check_faults(faults, stations)
         labels = self.node_labels(station_names)
         satellite_count = self._topology.satellite_count
+        sat_up = faults.satellite_up[step] if faults is not None else None
+        sat_factor = faults.satellite_factor[step] if faults is not None else None
         a_parts: list[np.ndarray] = []
         b_parts: list[np.ndarray] = []
         dist_parts: list[np.ndarray] = []
         cap_parts: list[np.ndarray] = []
         for _, pairs_arr, dist, feasible, capacity in self._static:
-            selected = np.flatnonzero(feasible[step])
-            a_parts.append(pairs_arr[selected, 0])
-            b_parts.append(pairs_arr[selected, 1])
+            mask = feasible[step]
+            if sat_up is not None:
+                mask = mask & sat_up[pairs_arr[:, 0]] & sat_up[pairs_arr[:, 1]]
+            selected = np.flatnonzero(mask)
+            a_sel = pairs_arr[selected, 0]
+            b_sel = pairs_arr[selected, 1]
+            a_parts.append(a_sel)
+            b_parts.append(b_sel)
             dist_parts.append(dist[step, selected])
-            cap_parts.append(np.full(selected.size, capacity))
+            if sat_factor is None:
+                cap_parts.append(np.full(selected.size, capacity))
+            else:
+                cap_parts.append(
+                    capacity * np.minimum(sat_factor[a_sel], sat_factor[b_sel])
+                )
         for _, a_ids, b_nearest, dist, feasible, capacity in self._scans:
-            selected = np.flatnonzero(feasible[step])
+            mask = feasible[step]
+            if sat_up is not None:
+                mask = mask & sat_up[a_ids] & sat_up[b_nearest[step]]
+            selected = np.flatnonzero(mask)
             a_sel = a_ids[selected]
             b_sel = b_nearest[step, selected]
             a_parts.append(np.minimum(a_sel, b_sel))
             b_parts.append(np.maximum(a_sel, b_sel))
             dist_parts.append(dist[step, selected])
-            cap_parts.append(np.full(selected.size, capacity))
+            if sat_factor is None:
+                cap_parts.append(np.full(selected.size, capacity))
+            else:
+                cap_parts.append(
+                    capacity * np.minimum(sat_factor[a_sel], sat_factor[b_sel])
+                )
         for row, station in enumerate(stations):
             visible, dist, capacity = self._ground[station.name]
-            selected = np.flatnonzero(visible[step])
+            mask = visible[step]
+            station_factor = 1.0
+            if faults is not None:
+                column = faults.station_column(station.name)
+                if not faults.station_up[step, column]:
+                    continue
+                station_factor = float(faults.station_factor[step, column])
+                mask = mask & sat_up
+            selected = np.flatnonzero(mask)
             a_parts.append(selected.astype(np.intp))
             b_parts.append(
                 np.full(selected.size, satellite_count + row, dtype=np.intp)
             )
             dist_parts.append(dist[step, selected])
-            cap_parts.append(np.full(selected.size, capacity))
+            if sat_factor is None:
+                cap_parts.append(np.full(selected.size, capacity))
+            else:
+                cap_parts.append(
+                    capacity * np.minimum(station_factor, sat_factor[selected])
+                )
         a = np.concatenate(a_parts) if a_parts else np.empty(0, dtype=np.intp)
         b = np.concatenate(b_parts) if b_parts else np.empty(0, dtype=np.intp)
         distances = np.concatenate(dist_parts) if dist_parts else np.empty(0)
@@ -396,7 +523,10 @@ class SnapshotSequence:
         )
 
     def edge_arrays(
-        self, step: int, station_names: Iterable[str] | None = None
+        self,
+        step: int,
+        station_names: Iterable[str] | None = None,
+        faults: FaultSchedule | None = None,
     ) -> EdgeArrays:
         """Return one step's CSR routing view ``(indptr, indices, weights, node_index)``.
 
@@ -405,15 +535,21 @@ class SnapshotSequence:
         (:class:`repro.network.backends.CSGraphBackend`): built from the
         precomputed per-step arrays without any per-edge Python iteration,
         and -- unlike a :class:`networkx.Graph` -- cheap to pickle across
-        process boundaries.
+        process boundaries.  ``faults`` applies outage masks exactly as in
+        :meth:`edge_list`.
         """
-        return self.edge_list(step, station_names).arrays()
+        return self.edge_list(step, station_names, faults=faults).arrays()
 
     def edge_lists(
-        self, station_names: Iterable[str] | None = None
+        self,
+        station_names: Iterable[str] | None = None,
+        faults: FaultSchedule | None = None,
     ) -> list[SnapshotEdgeList]:
         """Return every step's :meth:`edge_list`, in step order."""
-        return [self.edge_list(step, station_names) for step in range(len(self))]
+        return [
+            self.edge_list(step, station_names, faults=faults)
+            for step in range(len(self))
+        ]
 
     # -- graph production --------------------------------------------------------
 
@@ -422,6 +558,7 @@ class SnapshotSequence:
         *,
         copy: bool = True,
         station_names: Iterable[str] | None = None,
+        faults: FaultSchedule | None = None,
     ) -> Iterator[nx.Graph]:
         """Yield one snapshot graph per step, updating incrementally.
 
@@ -436,9 +573,14 @@ class SnapshotSequence:
         (simulators, per-step routers) that finish with each snapshot before
         advancing.  ``station_names`` restricts which of the precomputed
         ground stations are attached; several restricted streams can be drawn
-        from one sequence without repeating any array work.
+        from one sequence without repeating any array work.  ``faults``
+        applies a :class:`~repro.network.faults.FaultSchedule` on top of the
+        feasibility masks: down nodes keep their graph node (the label table
+        stays stable) but lose every incident edge, and degraded nodes scale
+        the ``capacity_gbps`` of their links.
         """
         stations = self._select_stations(station_names)
+        self._check_faults(faults, stations)
         graph = nx.Graph()
         for node_id, attributes in self._topology.graph_nodes():
             graph.add_node(node_id, **attributes)
@@ -451,7 +593,7 @@ class SnapshotSequence:
             )
         previous: dict[tuple, tuple[float, float, float]] = {}
         for step in range(len(self._epochs)):
-            edges = self._edges_at(step, stations)
+            edges = self._edges_at(step, stations, faults)
             for key in previous.keys() - edges.keys():
                 graph.remove_edge(*key)
             for (a, b), (distance, delay, capacity) in edges.items():

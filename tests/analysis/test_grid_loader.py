@@ -1,0 +1,171 @@
+"""Tests of the grid analysis loader (`repro.analysis.grid`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import GridDocument, load_grid
+from repro.coverage.walker import WalkerDelta
+from repro.demand.traffic_matrix import City, GravityTrafficModel
+from repro.network.ground_station import GroundStation
+from repro.network.simulation import Scenario, run_grid
+from repro.network.topology import ConstellationTopology
+
+CITIES = (
+    City("London", 51.5, -0.1, 9.6),
+    City("Tokyo", 35.7, 139.7, 37.0),
+)
+
+
+@pytest.fixture(scope="module")
+def topology(epoch) -> ConstellationTopology:
+    wd = WalkerDelta(
+        altitude_km=560.0, inclination_deg=65.0, total_satellites=60, planes=5, phasing=1
+    )
+    elements = wd.satellite_elements()
+    per_plane = wd.satellites_per_plane
+    return ConstellationTopology(
+        planes=[elements[i * per_plane : (i + 1) * per_plane] for i in range(wd.planes)],
+        epoch=epoch,
+    )
+
+
+@pytest.fixture(scope="module")
+def stations() -> list[GroundStation]:
+    return [GroundStation(c.name, c.latitude_deg, c.longitude_deg) for c in CITIES]
+
+
+class TestLoadGrid:
+    def test_round_trip_restores_results_exactly(self, topology, stations, epoch, tmp_path):
+        """Loaded cells equal the in-memory results run_grid returned --
+        including the fault scenarios' resilience statistics."""
+        scenarios = [
+            Scenario(name="base"),
+            Scenario(
+                name="outage",
+                faults=("plane_outage", {"count": 2, "seed": 1}),
+            ),
+        ]
+        output = tmp_path / "grid.json"
+        small = ConstellationTopology(
+            planes=topology.planes[:3], epoch=epoch, isl_config=topology.isl_config
+        )
+        cells = run_grid(
+            {"full": topology, "small": small},
+            scenarios,
+            stations,
+            epoch,
+            duration_hours=2.0,
+            traffic_model=GravityTrafficModel(cities=CITIES, total_demand=20.0),
+            flows_per_step=4,
+            output_path=output,
+        )
+        document = load_grid(output)
+        assert isinstance(document, GridDocument)
+        assert document.designs == ("full", "small")
+        assert document.scenarios == ("base", "outage")
+        assert document.step_count == 2
+        assert document.step_hours == 1.0
+        for key, result in cells.items():
+            assert document.result(*key).steps == result.steps
+            assert document.summaries[key]["mean_delivery_ratio"] == pytest.approx(
+                result.mean_delivery_ratio()
+            )
+
+    def test_surfaces_and_step_values(self, topology, stations, epoch, tmp_path):
+        output = tmp_path / "grid.json"
+        scenarios = [Scenario(name="s1"), Scenario(name="s2", demand_multiplier=2.0)]
+        cells = run_grid(
+            {"only": topology},
+            scenarios,
+            stations,
+            epoch,
+            duration_hours=2.0,
+            traffic_model=GravityTrafficModel(cities=CITIES, total_demand=20.0),
+            flows_per_step=4,
+            output_path=output,
+        )
+        document = load_grid(output)
+        surface = document.surface("mean_delivery_ratio")
+        assert surface.shape == (1, 2)
+        assert surface[0, 0] == pytest.approx(cells[("only", "s1")].mean_delivery_ratio())
+        offered = document.step_values("offered_gbps")
+        assert offered.shape == (1, 2, 2)
+        assert offered[0, 1, 0] == pytest.approx(2.0 * offered[0, 0, 0])
+        stranded = document.step_values("stranded_gbps")
+        assert (stranded >= 0.0).all()
+        with pytest.raises(ValueError, match="unknown summary metric"):
+            document.surface("vibes")
+        with pytest.raises(KeyError, match="no cell"):
+            document.result("only", "missing")
+
+    def test_null_latencies_decode_to_inf(self, topology, epoch, tmp_path):
+        """Unreachable steps persist as null (strict JSON) and must come
+        back as inf, exactly as the in-memory results report them."""
+        cities = (CITIES[0], City("Blind", 0.0, 0.0, 10.0))
+        stations = [
+            GroundStation(CITIES[0].name, CITIES[0].latitude_deg, CITIES[0].longitude_deg),
+            GroundStation("Blind", 0.0, 0.0, min_elevation_deg=89.9),
+        ]
+        output = tmp_path / "grid.json"
+        cells = run_grid(
+            {"only": topology},
+            [Scenario(name="s")],
+            stations,
+            epoch,
+            duration_hours=1.0,
+            traffic_model=GravityTrafficModel(cities=cities, total_demand=10.0),
+            flows_per_step=4,
+            output_path=output,
+        )
+        assert all(
+            not np.isfinite(step.mean_latency_ms)
+            for step in cells[("only", "s")].steps
+        )
+        document = load_grid(output)
+        loaded = document.result("only", "s")
+        assert loaded.steps == cells[("only", "s")].steps
+        assert all(step.mean_latency_ms == float("inf") for step in loaded.steps)
+        assert document.summaries[("only", "s")]["mean_latency_ms"] == float("inf")
+        assert np.isinf(document.step_values("mean_latency_ms")).all()
+
+    def test_loader_tolerates_older_step_records(self, tmp_path):
+        """Files written before the resilience fields existed load with the
+        dataclass defaults; unknown future keys are ignored."""
+        document = {
+            "start_jd": 2460755.0,
+            "duration_hours": 1.0,
+            "step_hours": 1.0,
+            "designs": ["d"],
+            "scenarios": ["s"],
+            "cells": [
+                {
+                    "design": "d",
+                    "scenario": "s",
+                    "mean_delivery_ratio": 0.5,
+                    "worst_delivery_ratio": 0.25,
+                    "mean_latency_ms": None,
+                    "steps": [
+                        {
+                            "utc_hour": 12.0,
+                            "offered_gbps": 4.0,
+                            "delivered_gbps": 2.0,
+                            "reachable_fraction": 1.0,
+                            "mean_latency_ms": None,
+                            "worst_link_utilisation": 1.0,
+                            "a_future_field": "ignored",
+                        }
+                    ],
+                }
+            ],
+        }
+        path = tmp_path / "old_grid.json"
+        path.write_text(json.dumps(document))
+        loaded = load_grid(path)
+        step = loaded.result("d", "s").steps[0]
+        assert step.mean_latency_ms == float("inf")
+        assert step.stranded_gbps == 0.0
+        assert step.satellites_up_fraction == 1.0

@@ -62,11 +62,19 @@ class TestScenarioValidation:
         with pytest.raises(ValueError):
             Scenario(name="x", demand_multiplier=0.0)
         with pytest.raises(ValueError):
+            Scenario(name="x", demand_multiplier=-2.0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", demand_multiplier=float("nan"))
+        with pytest.raises(ValueError):
             Scenario(name="x", flows_per_step=0)
         with pytest.raises(ValueError):
             Scenario(name="x", allocator="nope")
         with pytest.raises(ValueError):
             Scenario(name="x", backend="nope")
+        with pytest.raises(ValueError):
+            Scenario(name="x", faults="nope")
+        with pytest.raises(ValueError):
+            Scenario(name="x", faults=("random_satellite", {"rate": 2.0}))
 
     def test_rejects_unknown_executor(self, simulator, epoch):
         with pytest.raises(ValueError, match="executor"):
