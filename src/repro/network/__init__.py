@@ -23,6 +23,12 @@ from .backends import (
     get_backend,
     graph_from_edge_arrays,
 )
+from .alloc_arrays import (
+    FlowLinkSystem,
+    allocate_max_min_array,
+    allocate_proportional_array,
+    compile_flow_link_system,
+)
 from .capacity import (
     ALLOCATORS,
     AllocationResult,
@@ -86,8 +92,12 @@ __all__ = [
     "ALLOCATORS",
     "AllocationResult",
     "Flow",
+    "FlowLinkSystem",
     "allocate_max_min",
+    "allocate_max_min_array",
     "allocate_proportional",
+    "allocate_proportional_array",
+    "compile_flow_link_system",
     "get_allocator",
     "FAULT_MODELS",
     "FaultContext",

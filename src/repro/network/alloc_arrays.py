@@ -1,0 +1,441 @@
+"""Array-native capacity allocation over a (flow x link) incidence matrix.
+
+The dict allocators of :mod:`repro.network.capacity` walk per-flow python
+structures on every progressive-filling round, which made allocation the
+dominant pure-python cost of large congested sweeps once routing went
+array-native.  This module compiles a step's routed flows into the sparse
+incidence form of the same problem and runs the identical fixed points as
+whole-array numpy operations:
+
+* ``demand`` -- per-flow demand vector, shape ``(F,)``;
+* ``capacity`` -- per-link capacity vector, shape ``(L,)``, one entry per
+  distinct undirected link any flow traverses;
+* the 0/1 incidence matrix ``A`` of shape ``(F, L)`` (``A[f, l] = 1`` iff
+  flow ``f`` traverses link ``l``), held in COO form as the parallel index
+  arrays ``flow_ids`` / ``link_ids`` -- one entry per traversal.
+
+Every quantity of the allocators is then a sparse matrix-vector product:
+link loads are ``A.T @ rates`` (``np.bincount`` over ``link_ids`` weighted
+by ``rates[flow_ids]``), per-link unfrozen-flow counts are ``A.T @ active``,
+and "flows touching a saturated link" is ``A @ saturated > 0``.  Max-min
+progressive filling becomes a waterfilling fixed point: the uniform
+increment is the minimum over links of headroom over active-flow count
+(and over flows of remaining demand), frozen flows are boolean masks, and
+the loop runs until the active mask empties -- at least one flow freezes
+per round, so no iteration cap is needed.
+
+Two compilation paths produce identical systems:
+
+* the **index path** engages when the capacity view exposes a
+  :class:`~repro.network.backends.SnapshotEdgeList` (as the simulator's
+  per-step capacity views do) and every flow carries
+  :attr:`~repro.network.capacity.Flow.path_rows` -- the row-index paths an
+  array-native routing backend reconstructs from its predecessor matrix.
+  Links are encoded, deduplicated and matched against the edge list
+  entirely in numpy, with no python tuple or string-ordered key in sight;
+* the **graph path** handles any ``networkx``-style graph and label-only
+  flows, walking each flow's links once (the same per-link python work the
+  dict allocators' setup does) before the vectorised fixed point.
+
+The allocators register themselves in
+:data:`repro.network.capacity.ALLOCATORS` as ``"proportional_array"`` and
+``"max_min_array"`` and return the same :class:`AllocationResult` structure
+as the references -- rates within 1e-9 and identical (normalised) link
+keys -- so they are drop-in scenario policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .backends import SnapshotEdgeList
+from .capacity import ALLOCATORS, AllocationResult, Flow, _link_key
+
+__all__ = [
+    "FlowLinkSystem",
+    "compile_flow_link_system",
+    "allocate_proportional_array",
+    "allocate_max_min_array",
+]
+
+
+@dataclass(frozen=True)
+class FlowLinkSystem:
+    """One allocation problem in compiled (flow x link) incidence form."""
+
+    flow_names: tuple[str, ...]
+    #: Per-flow demand vector, shape ``(F,)``.
+    demand: np.ndarray
+    #: Per-link capacity vector, shape ``(L,)``.
+    capacity: np.ndarray
+    #: COO rows of the incidence matrix: flow of each traversal, ``(nnz,)``.
+    flow_ids: np.ndarray
+    #: COO columns of the incidence matrix: link of each traversal, ``(nnz,)``.
+    link_ids: np.ndarray
+    #: Normalised label-space key of every link, for :class:`AllocationResult`.
+    link_keys: tuple[tuple, ...]
+
+    @property
+    def flow_count(self) -> int:
+        return len(self.flow_names)
+
+    @property
+    def link_count(self) -> int:
+        return len(self.capacity)
+
+    def link_loads(self, rates: np.ndarray) -> np.ndarray:
+        """Return per-link load ``A.T @ rates``, shape ``(L,)``."""
+        return np.bincount(
+            self.link_ids, weights=rates[self.flow_ids], minlength=self.link_count
+        )
+
+    def link_counts(self, flow_mask: np.ndarray) -> np.ndarray:
+        """Return per-link count of masked flows ``A.T @ mask``, shape ``(L,)``."""
+        return np.bincount(
+            self.link_ids,
+            weights=flow_mask[self.flow_ids].astype(float),
+            minlength=self.link_count,
+        )
+
+    def flows_touching(self, link_mask: np.ndarray) -> np.ndarray:
+        """Return the boolean flow mask ``A @ link_mask > 0``, shape ``(F,)``."""
+        return (
+            np.bincount(
+                self.flow_ids,
+                weights=link_mask[self.link_ids].astype(float),
+                minlength=self.flow_count,
+            )
+            > 0
+        )
+
+
+def _missing_link_error(flows: list[Flow], flow_ids: np.ndarray, bad: np.ndarray):
+    """Mirror the reference allocators' missing-link ValueError."""
+    offender = flows[int(flow_ids[int(np.flatnonzero(bad)[0])])]
+    return ValueError(f"flow {offender.name!r} uses a link not present in the graph")
+
+
+class _EdgeListCompileCache:
+    """Per-snapshot constants of the index compile path.
+
+    Everything that depends only on the edge list -- the sorted link-code
+    table, the capacity column in that order, and whether the label table
+    is *row-ordered* (numeric labels form an ascending prefix), which lets
+    link keys be emitted as plain ``(labels[lo], labels[hi])`` tuples
+    without a per-link :func:`_link_key` call -- is computed once and
+    cached on the capacity view, so a sweep evaluating many scenarios over
+    one snapshot pays it once.
+    """
+
+    __slots__ = (
+        "edge_list",
+        "node_count",
+        "labels",
+        "sorted_codes",
+        "sorted_capacity",
+        "numeric_prefix",
+        "row_ordered",
+    )
+
+    def __init__(self, edge_list: SnapshotEdgeList):
+        self.edge_list = edge_list
+        labels = edge_list.labels
+        node_count = len(labels)
+        self.labels = labels
+        self.node_count = node_count
+        codes = (
+            np.minimum(edge_list.a, edge_list.b) * node_count
+            + np.maximum(edge_list.a, edge_list.b)
+        )
+        order = np.argsort(codes)
+        self.sorted_codes = codes[order]
+        self.sorted_capacity = edge_list.capacity_gbps[order].astype(float)
+        numeric = np.fromiter(
+            (
+                isinstance(label, (int, float)) and not isinstance(label, bool)
+                for label in labels
+            ),
+            dtype=bool,
+            count=node_count,
+        )
+        prefix = int(np.argmin(numeric)) if not numeric.all() else node_count
+        self.numeric_prefix = prefix
+        prefix_values = np.array(labels[:prefix], dtype=float) if prefix else None
+        self.row_ordered = bool(
+            not numeric[prefix:].any()
+            and (prefix < 2 or bool((np.diff(prefix_values) >= 0).all()))
+        )
+
+
+def _compile_cache(capacity_graph, edge_list: SnapshotEdgeList) -> _EdgeListCompileCache:
+    cache = getattr(capacity_graph, "_alloc_compile_cache", None)
+    if cache is None or cache.edge_list is not edge_list:
+        cache = _EdgeListCompileCache(edge_list)
+        try:
+            capacity_graph._alloc_compile_cache = cache
+        except AttributeError:  # slotted or otherwise frozen view
+            pass
+    return cache
+
+
+def _compile_from_rows(
+    cache: _EdgeListCompileCache, flows: list[Flow]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+    """Index path: compile row-index flow paths against an edge list.
+
+    Validation is deliberately cheap: row bounds plus each flow's *endpoint*
+    labels.  Interior rows are trusted to mirror ``flow.path`` -- the
+    contract of :attr:`~repro.network.capacity.Flow.path_rows`, which the
+    simulator guarantees by deriving routes and capacity view from the very
+    same edge list; a full per-hop label check would reintroduce the
+    per-node python pass this path exists to avoid.  Rows from a different
+    snapshot that happen to share both endpoints and valid bounds compile
+    silently against the wrong links -- callers assembling flows by hand
+    should pass label paths only (the graph path validates every link).
+    """
+    labels = cache.labels
+    node_count = cache.node_count
+    rows_per_flow = [
+        np.asarray(flow.path_rows, dtype=np.intp) for flow in flows
+    ]
+    counts = np.fromiter(
+        (max(rows.size - 1, 0) for rows in rows_per_flow),
+        dtype=np.intp,
+        count=len(flows),
+    )
+    if rows_per_flow:
+        all_rows = np.concatenate(rows_per_flow)
+        if all_rows.size and (all_rows.min() < 0 or all_rows.max() >= node_count):
+            raise ValueError("path_rows do not index this snapshot's label table")
+        u = np.concatenate([rows[:-1] for rows in rows_per_flow])
+        v = np.concatenate([rows[1:] for rows in rows_per_flow])
+    else:
+        u = v = np.empty(0, dtype=np.intp)
+    for flow, rows in zip(flows, rows_per_flow):
+        if rows.size and (
+            labels[rows[0]] != flow.path[0] or labels[rows[-1]] != flow.path[-1]
+        ):
+            raise ValueError(
+                f"flow {flow.name!r}: path_rows do not index this snapshot's "
+                "label table"
+            )
+    # Encode each undirected link as one integer; np.unique both
+    # deduplicates the links and yields the incidence columns.
+    codes = np.minimum(u, v) * node_count + np.maximum(u, v)
+    unique_codes, link_ids = np.unique(codes, return_inverse=True)
+    flow_ids = np.repeat(np.arange(len(flows), dtype=np.intp), counts)
+    # Match every link against the edge list to read its capacity.
+    positions = np.searchsorted(cache.sorted_codes, unique_codes)
+    in_range = positions < cache.sorted_codes.size
+    matched = np.zeros(unique_codes.size, dtype=bool)
+    matched[in_range] = cache.sorted_codes[positions[in_range]] == unique_codes[in_range]
+    if not matched.all():
+        raise _missing_link_error(flows, flow_ids, ~matched[link_ids])
+    capacity = cache.sorted_capacity[positions]
+    los = (unique_codes // node_count).tolist()
+    his = (unique_codes % node_count).tolist()
+    if cache.row_ordered:
+        # A numeric ``lo`` endpoint means the row order already is the
+        # normalised key order; only string-string links (absent from
+        # satellite snapshots) need the python normalisation.
+        prefix = cache.numeric_prefix
+        link_keys = tuple(
+            (labels[lo], labels[hi])
+            if lo < prefix
+            else _link_key(labels[lo], labels[hi])
+            for lo, hi in zip(los, his)
+        )
+    else:
+        link_keys = tuple(
+            _link_key(labels[lo], labels[hi]) for lo, hi in zip(los, his)
+        )
+    return flow_ids, link_ids, capacity, link_keys
+
+
+def _compile_from_graph(
+    graph, flows: list[Flow]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+    """Graph path: compile label paths against ``has_edge``/``edges`` lookups."""
+    key_ids: dict[tuple, int] = {}
+    capacity: list[float] = []
+    flow_ids: list[int] = []
+    link_ids: list[int] = []
+    for index, flow in enumerate(flows):
+        for a, b in flow.links():
+            if not graph.has_edge(a, b):
+                raise ValueError(
+                    f"flow {flow.name!r} uses a link not present in the graph"
+                )
+            key = _link_key(a, b)
+            link = key_ids.get(key)
+            if link is None:
+                link = len(key_ids)
+                key_ids[key] = link
+                capacity.append(float(graph.edges[a, b]["capacity_gbps"]))
+            flow_ids.append(index)
+            link_ids.append(link)
+    return (
+        np.asarray(flow_ids, dtype=np.intp),
+        np.asarray(link_ids, dtype=np.intp),
+        np.asarray(capacity, dtype=float),
+        tuple(key_ids),
+    )
+
+
+def compile_flow_link_system(capacity_graph, flows: list[Flow]) -> FlowLinkSystem:
+    """Compile routed flows into the incidence form of their allocation.
+
+    ``capacity_graph`` is anything the dict allocators accept -- a
+    :class:`networkx.Graph` or a duck-typed capacity view.  When it exposes
+    an ``edge_list`` (:class:`SnapshotEdgeList`) and every flow carries
+    ``path_rows``, the compilation runs entirely over index arrays;
+    otherwise each flow's links are walked once through the graph
+    interface.  Flow names must be unique: the result dict is keyed by
+    name, and the dict reference's behaviour under duplicates (shared rate
+    entries) is an accident not worth reproducing.
+    """
+    names = tuple(flow.name for flow in flows)
+    if len(set(names)) != len(names):
+        raise ValueError("array allocators require unique flow names")
+    demand = np.array([flow.demand_gbps for flow in flows], dtype=float)
+    edge_list = getattr(capacity_graph, "edge_list", None)
+    if isinstance(edge_list, SnapshotEdgeList) and all(
+        flow.path_rows is not None for flow in flows
+    ):
+        flow_ids, link_ids, capacity, link_keys = _compile_from_rows(
+            _compile_cache(capacity_graph, edge_list), flows
+        )
+    else:
+        flow_ids, link_ids, capacity, link_keys = _compile_from_graph(
+            capacity_graph, flows
+        )
+    return FlowLinkSystem(
+        flow_names=names,
+        demand=demand,
+        capacity=capacity,
+        flow_ids=flow_ids,
+        link_ids=link_ids,
+        link_keys=link_keys,
+    )
+
+
+def _result(
+    system: FlowLinkSystem, rates: np.ndarray, utilisation: np.ndarray
+) -> AllocationResult:
+    return AllocationResult(
+        allocated_gbps={
+            name: float(rate) for name, rate in zip(system.flow_names, rates)
+        },
+        link_utilisation={
+            key: float(value) for key, value in zip(system.link_keys, utilisation)
+        },
+    )
+
+
+def allocate_proportional_array(capacity_graph, flows: list[Flow]) -> AllocationResult:
+    """Array-native proportional scaling; see :func:`allocate_proportional`.
+
+    One incidence compile plus three sparse matrix-vector products: loads
+    from demands, the starved-flow mask from zero-capacity links, and the
+    common scale from the most congested link.
+    """
+    system = compile_flow_link_system(capacity_graph, flows)
+    demand, capacity = system.demand, system.capacity
+    load = system.link_loads(demand)
+    starved_links = (capacity <= 0.0) & (load > 0.0)
+    starved_flows = system.flows_touching(starved_links)
+    if starved_flows.any():
+        load = system.link_loads(np.where(starved_flows, 0.0, demand))
+    scale = 1.0
+    congested = (load > capacity) & (capacity > 0.0)
+    if congested.any():
+        scale = min(1.0, float((capacity[congested] / load[congested]).min()))
+    allocated = np.where(starved_flows, 0.0, demand * scale)
+    utilisation = np.zeros(system.link_count)
+    positive = capacity > 0.0
+    utilisation[positive] = load[positive] * scale / capacity[positive]
+    utilisation[starved_links] = 1.0
+    return _result(system, allocated, utilisation)
+
+
+def allocate_max_min_array(
+    capacity_graph, flows: list[Flow], iterations: int | None = None
+) -> AllocationResult:
+    """Array-native max-min waterfilling; see :func:`allocate_max_min`.
+
+    Each round is a handful of sparse matrix-vector products over the
+    incidence arrays: the uniform increment is the minimum of remaining
+    demands and per-link headroom-over-active-count shares (clamped at 0 --
+    accumulated tolerance must never drive rates down), freezes are boolean
+    mask updates, and when the float tolerances miss the binding constraint
+    it is frozen directly, so every round retires at least one flow and the
+    loop terminates without an iteration cap.
+    """
+    system = compile_flow_link_system(capacity_graph, flows)
+    demand, capacity = system.demand, system.capacity
+    link_count = system.link_count
+    rates = np.zeros(system.flow_count)
+    frozen = demand == 0.0
+    rounds = 0
+    while iterations is None or rounds < iterations:
+        rounds += 1
+        active = ~frozen
+        if not active.any():
+            break
+        remaining = np.where(active, demand - rates, np.inf)
+        binding_flow = int(np.argmin(remaining))
+        increment = float(remaining[binding_flow])
+        binding_link: int | None = None
+        if link_count:
+            counts = system.link_counts(active)
+            load = system.link_loads(rates)
+            live = counts > 0
+            if live.any():
+                shares = np.full(link_count, np.inf)
+                shares[live] = (capacity[live] - load[live]) / counts[live]
+                candidate = int(np.argmin(shares))
+                if shares[candidate] < increment:
+                    increment = float(shares[candidate])
+                    binding_link = candidate
+        if increment <= 1e-12:
+            increment = 0.0
+        rates[active] += increment
+        newly = active & (rates >= demand - 1e-9)
+        if link_count:
+            saturated = system.link_loads(rates) >= capacity - 1e-9
+            newly |= active & system.flows_touching(saturated)
+        if newly.any():
+            frozen |= newly
+            continue
+        # No tolerance fired: freeze the binding constraint directly (its
+        # headroom cannot recover) instead of spinning without progress.
+        if binding_link is not None:
+            on_link = np.zeros(system.flow_count, dtype=bool)
+            on_link[system.flow_ids[system.link_ids == binding_link]] = True
+            frozen |= on_link
+        else:
+            frozen[binding_flow] = True
+
+    utilisation = np.zeros(link_count)
+    if link_count:
+        load = system.link_loads(rates)
+        positive = capacity > 0.0
+        utilisation[positive] = load[positive] / capacity[positive]
+        # Zero-capacity links with demand trying to cross are saturated,
+        # not idle -- the reference allocators' convention.
+        utilisation[~positive & (system.link_loads(demand) > 0.0)] = 1.0
+    return _result(system, rates, utilisation)
+
+
+#: Introspection metadata mirroring ``RoutingBackend.uses_arrays``: these
+#: allocators exploit an array capacity view and row-index paths when the
+#: caller supplies them (the compile fast path) and fall back to the graph
+#: interface otherwise.  The simulator chooses the capacity representation
+#: by routing backend alone -- every allocator accepts either form.
+allocate_proportional_array.uses_arrays = True
+allocate_max_min_array.uses_arrays = True
+
+ALLOCATORS["proportional_array"] = allocate_proportional_array
+ALLOCATORS["max_min_array"] = allocate_max_min_array

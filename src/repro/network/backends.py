@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import ClassVar, NamedTuple, Sequence
 
@@ -69,6 +69,12 @@ class RouteResult:
     latency_ms: float
     hop_count: int
     reachable: bool
+    #: Row-index form of ``path`` into the snapshot's array views, set by
+    #: array-native backends whose reconstruction already works in rows.
+    #: Downstream array consumers (the array-native capacity allocators)
+    #: read it to skip the label round-trip; it never affects equality, so
+    #: backends with and without it still compare route-equal.
+    path_rows: tuple[int, ...] | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def unreachable(cls) -> "RouteResult":
@@ -288,6 +294,7 @@ class _PredecessorRoutes(Mapping):
             latency_ms=float(self._distances[row]),
             hop_count=len(path_rows) - 1,
             reachable=True,
+            path_rows=tuple(path_rows),
         )
 
     def __getitem__(self, destination) -> RouteResult:

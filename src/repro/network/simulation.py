@@ -22,7 +22,13 @@ step:
    compiled multi-source search over the CSR arrays;
 4. **capacity allocation** -- the scenario's allocator policy
    (:data:`repro.network.capacity.ALLOCATORS`) splits link bandwidth among
-   the routed flows;
+   the routed flows; under an array-native backend every allocator reads
+   capacities from a view of the step's edge-list export (no
+   :class:`networkx.Graph` is built at all), and the array-native policies
+   (``"proportional_array"`` / ``"max_min_array"``,
+   :mod:`repro.network.alloc_arrays`) additionally compile the routed
+   index paths straight into a sparse (flow x link) incidence system and
+   allocate in whole-array numpy;
 5. **statistics** -- throughput, latency and reachability are folded into a
    :class:`StepStatistics`.
 
@@ -337,17 +343,18 @@ class _TrafficMatrixCache:
 
 
 class _EdgePairView:
-    """``graph.edges[a, b]`` lookups over a plain capacity dict."""
+    """``graph.edges[a, b]`` lookups over a capacity view's attribute dict."""
 
-    def __init__(self, attributes: dict):
-        self._attributes = attributes
+    def __init__(self, view: "_EdgeListCapacityView"):
+        self._view = view
 
     def __getitem__(self, key):
         a, b = key
+        attributes = self._view._attrs()
         try:
-            return self._attributes[(a, b)]
+            return attributes[(a, b)]
         except KeyError:
-            return self._attributes[(b, a)]
+            return attributes[(b, a)]
 
 
 class _EdgeListCapacityView:
@@ -357,20 +364,36 @@ class _EdgeListCapacityView:
     ``graph.edges[a, b]["capacity_gbps"]``, so worker processes allocate
     straight over the shipped :class:`SnapshotEdgeList` arrays instead of
     materialising a graph -- producing bit-identical allocations.
+
+    The view also exposes the underlying edge list as ``edge_list``: the
+    array-native allocators (:mod:`repro.network.alloc_arrays`) compile
+    straight from its endpoint/capacity arrays, so the label-keyed
+    attribute dict is built lazily, on the first lookup by a dict
+    allocator, and array-allocator scenarios never pay the per-edge python
+    pass at all.
     """
 
     def __init__(self, edge_list: SnapshotEdgeList):
-        labels = edge_list.labels
-        attributes: dict = {}
-        for a, b, capacity in zip(
-            edge_list.a.tolist(), edge_list.b.tolist(), edge_list.capacity_gbps.tolist()
-        ):
-            attributes[(labels[a], labels[b])] = {"capacity_gbps": capacity}
-        self._attributes = attributes
-        self.edges = _EdgePairView(attributes)
+        self.edge_list = edge_list
+        self._attributes: dict | None = None
+        self.edges = _EdgePairView(self)
+
+    def _attrs(self) -> dict:
+        if self._attributes is None:
+            labels = self.edge_list.labels
+            attributes: dict = {}
+            for a, b, capacity in zip(
+                self.edge_list.a.tolist(),
+                self.edge_list.b.tolist(),
+                self.edge_list.capacity_gbps.tolist(),
+            ):
+                attributes[(labels[a], labels[b])] = {"capacity_gbps": capacity}
+            self._attributes = attributes
+        return self._attributes
 
     def has_edge(self, a, b) -> bool:
-        return (a, b) in self._attributes or (b, a) in self._attributes
+        attributes = self._attrs()
+        return (a, b) in attributes or (b, a) in attributes
 
 
 @dataclass(frozen=True)
@@ -609,29 +632,43 @@ class NetworkSimulator:
 
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
 
-        # Scenarios with the same (station subset, fault schedule) share one
-        # incremental graph stream; the underlying array work is shared by
-        # all streams anyway.
-        streams: dict[tuple, object] = {}
-        group_subsets: dict[tuple, tuple[str, ...]] = {}
-        for scenario in scenarios:
-            group = (
+        # Scenarios with the same (station subset, fault schedule) form one
+        # snapshot group and share its per-step exports outright.
+        groups = {
+            scenario.name: (
                 frozenset(station_subsets[scenario.name]),
                 scenario.faults,
             )
-            if group not in streams:
-                group_subsets[group] = station_subsets[scenario.name]
-                streams[group] = sequence.graphs(
-                    copy=False,
-                    station_names=station_subsets[scenario.name],
-                    faults=schedules[
-                        (station_subsets[scenario.name], scenario.faults)
-                    ],
-                )
+            for scenario in scenarios
+        }
+        group_subsets: dict[tuple, tuple[str, ...]] = {}
+        for scenario in scenarios:
+            group_subsets.setdefault(
+                groups[scenario.name], station_subsets[scenario.name]
+            )
+        # Incremental graph streams only for groups with at least one
+        # python-backend router.  Array-backend scenarios route on the CSR
+        # export and allocate over a capacity view of the same edge list
+        # (bit-identical to graph allocation -- the process workers have
+        # always done exactly this), so groups whose every scenario routes
+        # array-natively skip per-step nx.Graph maintenance entirely.
+        streams = {
+            group: sequence.graphs(
+                copy=False,
+                station_names=group_subsets[group],
+                faults=schedules[(group_subsets[group], group[1])],
+            )
+            for group in {
+                groups[scenario.name]
+                for scenario in scenarios
+                if not effective_backends[scenario.name].uses_arrays
+            }
+        }
         # Snapshot groups whose scenarios route on an array-native backend
-        # also get the per-step CSR export (masked the same way).
+        # get the per-step edge-list export (masked the same way), serving
+        # both the CSR routing view and the allocation capacity view.
         arrays_needed = {
-            (frozenset(station_subsets[scenario.name]), scenario.faults)
+            groups[scenario.name]
             for scenario in scenarios
             if effective_backends[scenario.name].uses_arrays
         }
@@ -661,13 +698,20 @@ class NetworkSimulator:
                 step_graphs = {
                     group: next(stream) for group, stream in streams.items()
                 }
-                step_arrays = {
-                    group: sequence.edge_arrays(
+                step_lists = {
+                    group: sequence.edge_list(
                         index,
                         group_subsets[group],
                         faults=schedules[(group_subsets[group], group[1])],
                     )
                     for group in arrays_needed
+                }
+                step_arrays = {
+                    group: step_lists[group].arrays() for group in arrays_needed
+                }
+                step_views = {
+                    group: _EdgeListCapacityView(edge_list)
+                    for group, edge_list in step_lists.items()
                 }
                 routers: dict = {}
                 for scenario in scenarios:
@@ -675,7 +719,7 @@ class NetworkSimulator:
                     if key not in routers:
                         group = key[:2]
                         routers[key] = SnapshotRouter(
-                            step_graphs[group],
+                            step_graphs.get(group),
                             backend=effective_backends[scenario.name],
                             arrays=step_arrays.get(group),
                         )
@@ -684,12 +728,15 @@ class NetworkSimulator:
 
                 def _evaluate(scenario: Scenario) -> StepStatistics:
                     key = router_keys[scenario.name]
+                    group = key[:2]
                     schedule = schedules[
                         (station_subsets[scenario.name], scenario.faults)
                     ]
                     return self._simulate_step(
                         routers[key],
-                        step_graphs[key[:2]],
+                        step_views[group]
+                        if effective_backends[scenario.name].uses_arrays
+                        else step_graphs[group],
                         matrix,
                         scenario,
                         station_subsets[scenario.name],
@@ -885,6 +932,10 @@ class NetworkSimulator:
                     name=f"{source_name}->{destination_name}",
                     path=route.path,
                     demand_gbps=demand,
+                    # Array-native backends reconstruct paths as row
+                    # sequences; carrying them lets the array allocators
+                    # compile the flow without a label round-trip.
+                    path_rows=route.path_rows,
                 )
             )
         return flows, latencies, offered
