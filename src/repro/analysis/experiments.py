@@ -247,9 +247,9 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in selected:
         experiment = EXPERIMENTS[experiment_id]
         print(f"=== {experiment.experiment_id}: {experiment.title} ===")
-        started = time.time()
+        started = time.perf_counter()
         print(run_experiment(experiment_id, quick=args.quick))
-        print(f"--- completed in {time.time() - started:.1f} s ---\n")
+        print(f"--- completed in {time.perf_counter() - started:.1f} s ---\n")
     return 0
 
 

@@ -92,7 +92,7 @@ class GreedySSPlaneDesigner:
     demand_floor: float = 0.01
     max_planes: int = 20000
     _mask_cache: dict[tuple[int, int, int], np.ndarray] = field(
-        default_factory=dict, repr=False
+        default_factory=dict, repr=False, compare=False
     )
 
     def satellites_per_plane(self) -> int:

@@ -84,6 +84,17 @@ class TrafficMatrix:
         return flat[:count]
 
 
+def _default_cities() -> tuple[City, ...]:
+    """Default gravity-model cities: metros of at least 3M people.
+
+    A named module-level function (not a lambda) so models built with the
+    default stay picklable for the process-executor sweep path.
+    """
+    return tuple(
+        City.from_metro(m) for m in METRO_AREAS if m.population_millions >= 3.0
+    )
+
+
 @dataclass
 class GravityTrafficModel:
     """Gravity-model traffic generator modulated by the diurnal cycle.
@@ -99,11 +110,7 @@ class GravityTrafficModel:
     experiments sweep the bandwidth multiplier.
     """
 
-    cities: tuple[City, ...] = field(
-        default_factory=lambda: tuple(
-            City.from_metro(m) for m in METRO_AREAS if m.population_millions >= 3.0
-        )
-    )
+    cities: tuple[City, ...] = field(default_factory=_default_cities)
     profile: DiurnalProfile = field(default_factory=DiurnalProfile)
     total_demand: float = 100.0
 

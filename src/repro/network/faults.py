@@ -62,6 +62,7 @@ routing backends.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
@@ -81,6 +82,7 @@ __all__ = [
     "RadiationOutages",
     "StationOutages",
     "LinkDegradation",
+    "MissingSeedWarning",
     "FAULT_MODELS",
     "get_fault_model",
     "compile_faults",
@@ -126,7 +128,9 @@ class FaultSpec:
     """
 
     model: str
-    params: "Mapping | tuple" = ()
+    # __post_init__ canonicalises any mapping to a sorted tuple, so the
+    # frozen spec stays hashable despite the Mapping annotation.
+    params: "Mapping | tuple" = ()  # repro-lint: ignore[RPL005]
 
     def __post_init__(self) -> None:
         params = self.params
@@ -381,8 +385,25 @@ class FaultSchedule:
 # -- model implementations -------------------------------------------------------
 
 
+class MissingSeedWarning(UserWarning):
+    """A stochastic fault model was compiled without an explicit ``seed``.
+
+    The stream still defaults to ``seed=0`` -- results stay deterministic --
+    but relying on the implicit default makes it easy to compile two
+    "independent" fault axes from the *same* stream.  Pass ``seed``
+    explicitly to silence this.
+    """
+
+
 def _seeded_rng(params: Mapping) -> np.random.Generator:
     """Return the spec's deterministic random stream (``seed`` param)."""
+    if "seed" not in params:
+        warnings.warn(
+            "stochastic fault model compiled without an explicit 'seed' "
+            "parameter; defaulting to seed=0 (pass seed=... to silence)",
+            MissingSeedWarning,
+            stacklevel=2,
+        )
     return np.random.default_rng(int(params.get("seed", 0)))
 
 
@@ -447,9 +468,20 @@ class FaultModel(ABC):
     def _validate(self, params: dict) -> None:
         """Model-specific semantic validation hook."""
 
-    @abstractmethod
     def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
-        """Compile the spec into per-step masks over ``context``."""
+        """Validate ``params``, then compile per-step masks over ``context``.
+
+        Validation runs here as well as in :class:`FaultSpec` so callers
+        that compile a model directly -- bypassing the spec -- still get a
+        loud :class:`ValueError` for a typoed parameter name instead of the
+        model silently falling back to its defaults.
+        """
+        self.validate(params)
+        return self._compile(dict(params), context)
+
+    @abstractmethod
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+        """Compile the (validated) spec into per-step masks."""
 
 
 class RandomSatelliteOutages(FaultModel):
@@ -466,7 +498,7 @@ class RandomSatelliteOutages(FaultModel):
         _check_unit_interval(self.name, "rate", params.get("rate", 0.05))
         _check_count(self.name, "duration_steps", params.get("duration_steps", 1))
 
-    def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
         rate = float(params.get("rate", 0.05))
         duration = int(params.get("duration_steps", 1))
         starts = _seeded_rng(params).random(
@@ -507,7 +539,7 @@ class CorrelatedGroupOutages(FaultModel):
             for group in groups:
                 _check_count(self.name, "groups entry", group, minimum=0)
 
-    def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
         scope = params.get("scope", "plane")
         keys = context.group_keys(scope)
         available = context.group_count(scope)
@@ -599,7 +631,7 @@ class RadiationOutages(FaultModel):
                 f"got {step_s}"
             )
 
-    def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
         from ..radiation.exposure import ExposureCalculator
 
         base_rate = float(params.get("base_rate", 0.01))
@@ -686,7 +718,7 @@ class StationOutages(FaultModel):
                 f"fault model {self.name!r}: stations must be a sequence of names"
             )
 
-    def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
         selected = params.get("stations")
         selected = context.station_names if selected is None else tuple(selected)
         unknown = set(selected) - set(context.station_names)
@@ -748,7 +780,7 @@ class LinkDegradation(FaultModel):
             for node_id in satellites:
                 _check_count(self.name, "satellites entry", node_id, minimum=0)
 
-    def compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
+    def _compile(self, params: Mapping, context: FaultContext) -> FaultSchedule:
         factor = float(params.get("factor", 0.5))
         satellites = params.get("satellites")
         if satellites is None:

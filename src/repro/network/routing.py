@@ -65,7 +65,9 @@ class SnapshotRouter:
         given).
     """
 
-    graph: nx.Graph | None = None
+    # Routers are built worker-side from snapshot arrays and never cross a
+    # process boundary, so the graph field is safe to hold here.
+    graph: nx.Graph | None = None  # repro-lint: ignore[RPL002]
     backend: str | RoutingBackend = "networkx"
     arrays: EdgeArrays | None = None
 

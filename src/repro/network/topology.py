@@ -92,7 +92,9 @@ class _StaticPairs:
     is computed once per topology.
     """
 
-    pairs: np.ndarray  # (E, 2) node ids, each row sorted ascending
+    # The pair list is a deterministic function of the topology and config,
+    # so it is excluded from equality (ndarray == yields an array anyway).
+    pairs: np.ndarray = field(compare=False)  # (E, 2) node ids, rows sorted
     config: ISLConfig
 
 
@@ -102,8 +104,9 @@ class _NearestScan:
     ``k`` nearest neighbours among the ``b`` satellites (kept only if
     feasible)."""
 
-    a_indices: np.ndarray  # (Na,) node ids
-    b_indices: np.ndarray  # (Nb,) node ids
+    # Index arrays are derived from the topology; keep them out of equality.
+    a_indices: np.ndarray = field(compare=False)  # (Na,) node ids
+    b_indices: np.ndarray = field(compare=False)  # (Nb,) node ids
     config: ISLConfig
     k: int = 1
 

@@ -1,0 +1,44 @@
+"""``repro-lint``: project-specific static analysis for engine invariants.
+
+The engine's contract -- fixed-seed sweeps bit-identical across
+serial/thread/process executors and ``networkx``/``csgraph`` backends --
+rests on rules no general-purpose linter knows about.  This package checks
+them statically, before anything runs:
+
+========  =======================================================
+RPL001    determinism: explicit-seed RNG streams, no wall clocks
+RPL002    worker-payload picklability on process-executor paths
+RPL003    shared mutable state on sweep paths; unreset caches
+RPL004    float-loop accumulation (use ``orbits.time.step_count``)
+RPL005    dataclass compare/hash hygiene (arrays, frozen specs)
+RPL10x    registry conformance (ALLOCATORS / BACKENDS /
+          FAULT_MODELS / EXPERIMENTS, import-and-inspect)
+========  =======================================================
+
+Run ``python -m repro.tools.lint src/repro`` (see
+``CONTRIBUTING.md`` -- "Engine invariants") or use :func:`run_lint`
+programmatically.  Inline suppression::
+
+    value = call()  # repro-lint: ignore[RPL001]
+"""
+
+from .baseline import compare_with_baseline, load_baseline, write_baseline
+from .cli import main, run_lint
+from .engine import Finding, LintRunner
+from .registries import RegistrySpec, check_registries, default_registry_specs
+from .rules import RULE_CATALOGUE, all_rules
+
+__all__ = [
+    "Finding",
+    "LintRunner",
+    "RULE_CATALOGUE",
+    "RegistrySpec",
+    "all_rules",
+    "check_registries",
+    "compare_with_baseline",
+    "default_registry_specs",
+    "load_baseline",
+    "main",
+    "run_lint",
+    "write_baseline",
+]

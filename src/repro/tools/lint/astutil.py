@@ -1,0 +1,113 @@
+"""Shared AST helpers for the lint rules.
+
+Mostly name resolution: mapping local names through a module's import table
+so a call like ``np.random.default_rng()`` resolves to its canonical dotted
+path ``numpy.random.default_rng`` whatever the import spelling
+(``import numpy as np``, ``import numpy.random as npr``,
+``from numpy.random import default_rng`` ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "import_table",
+    "dotted_chain",
+    "resolve_call_target",
+    "decorator_name",
+    "dataclass_decorator",
+    "annotation_text",
+    "walk_functions",
+]
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted path they import.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``import numpy.random`` -> ``{"numpy": "numpy"}`` (attribute access
+    resolves the rest of the chain naturally);
+    ``from time import time as now`` -> ``{"now": "time.time"}``.
+    Relative imports resolve to their module-less suffix (``.capacity``
+    becomes ``capacity``), which is enough for same-package matching.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                table[local] = f"{module}.{alias.name}" if module else alias.name
+    return table
+
+
+def dotted_chain(node: ast.AST) -> "list[str] | None":
+    """Return ``["np", "random", "default_rng"]`` for an attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def resolve_call_target(func: ast.AST, imports: dict[str, str]) -> "str | None":
+    """Canonical dotted path of a call target, or ``None`` if unresolvable.
+
+    Only chains rooted at an imported name resolve -- a local variable that
+    happens to be called ``random`` never maps to the stdlib module.
+    """
+    chain = dotted_chain(func)
+    if not chain:
+        return None
+    root = chain[0]
+    if root not in imports:
+        return None
+    return ".".join([imports[root]] + chain[1:])
+
+
+def decorator_name(node: ast.AST) -> "str | None":
+    """Trailing name of a decorator expression (``dataclasses.dataclass``
+    and ``dataclass(frozen=True)`` both yield ``"dataclass"``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    chain = dotted_chain(node)
+    return chain[-1] if chain else None
+
+
+def dataclass_decorator(node: ast.ClassDef) -> "ast.AST | None":
+    """Return the ``@dataclass`` decorator node of a class, if any."""
+    for decorator in node.decorator_list:
+        if decorator_name(decorator) == "dataclass":
+            return decorator
+    return None
+
+
+def annotation_text(node: ast.AST) -> str:
+    """Source text of an annotation; string annotations are unquoted."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation
+        return ""
+
+
+def walk_functions(tree: ast.AST) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    """Yield every function definition in the tree, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

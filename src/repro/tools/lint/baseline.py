@@ -1,0 +1,149 @@
+"""Baseline tracking: pre-existing findings are allowed, new ones fail.
+
+The committed ``lint-baseline.json`` records every finding that existed
+when the linter was introduced (or when a finding was consciously accepted).
+A lint run against a baseline partitions its findings into:
+
+* **new** -- findings whose fingerprint is not covered by the baseline:
+  these fail the run;
+* **matched** -- findings covered by a baseline entry: allowed;
+* **stale** -- baseline entries that no current finding matches: the
+  violation was fixed, so the entry must be deleted (regenerate with
+  ``--write-baseline``).  Stale entries fail the run too -- a baseline that
+  over-approximates reality would silently re-admit the bug class.
+
+Fingerprints are multiset-matched (the same message may legitimately occur
+twice in one file) and exclude line numbers, so unrelated edits do not
+churn the baseline.  Stale checking is scoped to the linted paths: running
+the linter on a subtree only re-validates that subtree's entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Callable
+
+from .engine import Finding
+
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "BaselineComparison",
+    "compare_with_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: "str | Path") -> list[Finding]:
+    """Load baseline entries; raises ValueError on a malformed document."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or document.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"baseline {path} is not a version-{_FORMAT_VERSION} repro-lint "
+            "baseline document"
+        )
+    entries = []
+    for record in document.get("entries", []):
+        entries.append(
+            Finding(
+                rule=record["rule"],
+                path=record["path"],
+                line=int(record.get("line", 1)),
+                message=record["message"],
+                symbol=record.get("symbol", ""),
+            )
+        )
+    return entries
+
+
+def write_baseline(path: "str | Path", findings: list[Finding]) -> None:
+    """Persist findings as the new baseline (sorted, line numbers kept as
+    documentation only -- they do not participate in matching)."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.symbol, f.message)
+        )
+    ]
+    document = {"version": _FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+class BaselineComparison:
+    """Outcome of matching a lint run against a baseline."""
+
+    def __init__(
+        self,
+        new: list[Finding],
+        matched: list[Finding],
+        stale: list[Finding],
+    ):
+        self.new = new
+        self.matched = matched
+        self.stale = stale
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def _in_scope(entry: Finding, scope_prefixes: "list[str] | None") -> bool:
+    if scope_prefixes is None:
+        return True
+    if "/" not in entry.path and "." in entry.path:
+        # Registry findings carry dotted module paths; they are in scope
+        # whenever the registry layer ran, which the caller encodes by
+        # including the empty prefix.
+        return "" in scope_prefixes
+    return any(
+        entry.path == prefix or entry.path.startswith(prefix.rstrip("/") + "/")
+        for prefix in scope_prefixes
+        if prefix
+    )
+
+
+def compare_with_baseline(
+    findings: list[Finding],
+    baseline: list[Finding],
+    scope_prefixes: "list[str] | None" = None,
+    enabled: "Callable[[str], bool] | None" = None,
+) -> BaselineComparison:
+    """Partition findings into new/matched and baseline entries into stale.
+
+    ``scope_prefixes`` limits the stale check to baseline entries under the
+    linted paths (include ``""`` when the registry layer ran, so dotted
+    registry entries are validated too); ``None`` means everything is in
+    scope.  ``enabled`` tells the stale check which rule codes actually ran
+    this invocation -- an entry for a rule narrowed away by ``--select`` /
+    ``--ignore`` cannot be judged fixed, so it is never stale.
+    """
+    available = Counter(entry.fingerprint() for entry in baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        print_ = finding.fingerprint()
+        if available.get(print_, 0) > 0:
+            available[print_] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale: list[Finding] = []
+    for entry in baseline:
+        fingerprint = entry.fingerprint()
+        if (
+            available.get(fingerprint, 0) > 0
+            and _in_scope(entry, scope_prefixes)
+            and (enabled is None or enabled(entry.rule))
+        ):
+            available[fingerprint] -= 1
+            stale.append(entry)
+    return BaselineComparison(new=new, matched=matched, stale=stale)

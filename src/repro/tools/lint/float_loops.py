@@ -1,0 +1,83 @@
+"""RPL004 -- float-loop accumulation: ``while t < end: t += dt`` patterns.
+
+Repeated float addition under-accumulates (``0.1`` added ten times falls
+just short of ``1.0``), so a time loop driven by an accumulated float
+variable can run one step long or short depending on magnitudes.  The
+engine's single sanctioned convention is an exact integer count from
+:func:`repro.orbits.time.step_count` with the loop variable derived as
+``start + i * step``.
+
+Integer counters (``rounds += 1`` bounded by ``rounds < cap``) are exempt:
+only loops whose accumulated increment is *not* an integer literal are
+flagged, which is precisely the class where float error can change the
+iteration count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, ModuleRule, ModuleSource
+
+__all__ = ["FloatLoopRule"]
+
+
+def _compared_names(test: ast.AST) -> set[str]:
+    """Names compared with an ordering operator anywhere in a While test."""
+    names: set[str] = set()
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)) for op in node.ops
+        ):
+            continue
+        for operand in [node.left, *node.comparators]:
+            if isinstance(operand, ast.Name):
+                names.add(operand.id)
+    return names
+
+
+def _is_integer_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )
+
+
+class FloatLoopRule(ModuleRule):
+    code = "RPL004"
+    name = "float-loop-accumulation"
+    description = (
+        "time loops must derive their step count from "
+        "repro.orbits.time.step_count, not accumulate floats"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            guards = _compared_names(node.test)
+            if not guards:
+                continue
+            for statement in ast.walk(node):
+                if (
+                    isinstance(statement, ast.AugAssign)
+                    and isinstance(statement.op, (ast.Add, ast.Sub))
+                    and isinstance(statement.target, ast.Name)
+                    and statement.target.id in guards
+                    and not _is_integer_literal(statement.value)
+                ):
+                    yield module.finding(
+                        self.code,
+                        statement,
+                        f"loop variable {statement.target.id!r} accumulates a "
+                        "non-integer increment inside a bounded while loop; "
+                        "compute the count once with "
+                        "repro.orbits.time.step_count and derive the value as "
+                        "start + i * step",
+                    )

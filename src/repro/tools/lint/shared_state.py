@@ -1,0 +1,227 @@
+"""RPL003 -- shared mutable state on sweep paths.
+
+Two sub-checks, both descendants of real bugs:
+
+* **Module-level mutable containers mutated inside functions.**  A module
+  dict/list/set mutated from function bodies is cross-scenario shared state:
+  results then depend on evaluation order, which the serial/thread/process
+  equivalence guarantee forbids.  Registration at import time (the
+  ``ALLOCATORS``/``BACKENDS`` registry idiom -- module-level statements) is
+  allowed; mutation from inside a ``def`` is flagged.
+
+* **Cache classes whose ``reset()`` is never invoked.**  The
+  ``_SharedRouteCache`` bug class: a per-snapshot cache object that survives
+  the step boundary because nobody calls its ``reset()``.  Any class that
+  both (a) defines a ``reset`` method and (b) initialises mutable container
+  state in ``__init__`` must have at least one ``.reset()`` call site
+  somewhere in a linted module that defines or imports the class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .engine import Finding, ModuleSource, ProjectRule
+
+__all__ = ["SharedStateRule"]
+
+_MUTATORS = {
+    "append",
+    "add",
+    "update",
+    "setdefault",
+    "extend",
+    "insert",
+    "remove",
+    "discard",
+    "popitem",
+    "clear",
+}
+
+_CONTAINER_CALLS = {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter"}
+
+
+def _is_mutable_container(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _module_level_containers(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for statement in tree.body:
+        targets: list[ast.AST] = []
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        if not _is_mutable_container(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and not target.id.startswith("__"):
+                names.add(target.id)
+    return names
+
+
+def _function_bodies(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _mutations_of(function: ast.AST, names: set[str]) -> Iterator[tuple[ast.AST, str]]:
+    """Yield (site, name) for every mutation of a tracked module global."""
+    shadowed = {
+        arg.arg
+        for arg in ast.walk(function)
+        if isinstance(arg, ast.arg)
+    }
+    rebound = {
+        node.id
+        for node in ast.walk(function)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, ast.Store)
+        and node.id in names
+    }
+    visible = names - shadowed - rebound
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in visible
+        ):
+            yield node, node.func.value.id
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in visible
+                ):
+                    yield node, target.value.id
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in visible
+                ):
+                    yield node, target.value.id
+
+
+class _ResetCacheInfo:
+    """One class defining reset() + mutable __init__ state."""
+
+    def __init__(self, module: ModuleSource, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+
+
+def _reset_cache_classes(module: ModuleSource) -> Iterator[_ResetCacheInfo]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {
+            statement.name: statement
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "reset" not in methods or "__init__" not in methods:
+            continue
+        def _self_attribute_targets(statement: ast.AST) -> list[ast.AST]:
+            if isinstance(statement, ast.Assign):
+                return statement.targets
+            if isinstance(statement, ast.AnnAssign):
+                return [statement.target]
+            return []
+
+        has_mutable_state = any(
+            any(
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                for target in _self_attribute_targets(statement)
+            )
+            and getattr(statement, "value", None) is not None
+            and _is_mutable_container(statement.value)
+            for statement in ast.walk(methods["__init__"])
+        )
+        if has_mutable_state:
+            yield _ResetCacheInfo(module, node)
+
+
+def _reset_call_sites(module: ModuleSource, class_name: str) -> bool:
+    """True if the module calls ``.reset()`` outside the class itself."""
+    class_ranges = [
+        (node.lineno, max(node.lineno, getattr(node, "end_lineno", node.lineno)))
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.ClassDef) and node.name == class_name
+    ]
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "reset"
+        ):
+            line = node.lineno
+            if not any(start <= line <= end for start, end in class_ranges):
+                return True
+    return False
+
+
+class SharedStateRule(ProjectRule):
+    code = "RPL003"
+    name = "shared-mutable-state"
+    description = (
+        "no function-scope mutation of module globals; caches with reset() "
+        "must actually be reset"
+    )
+
+    def check_project(self, modules: list[ModuleSource]) -> Iterator[Finding]:
+        for module in modules:
+            names = _module_level_containers(module.tree)
+            if names:
+                for function in _function_bodies(module.tree):
+                    for site, name in _mutations_of(function, names):
+                        yield module.finding(
+                            self.code,
+                            site,
+                            f"module-level mutable {name!r} is mutated inside "
+                            "a function; shared state leaks across scenarios "
+                            "-- register at import time or pass state "
+                            "explicitly",
+                        )
+        # reset() liveness: a cache class counts as reset if any module that
+        # defines or imports it has a .reset() call site outside the class.
+        for module in modules:
+            for info in _reset_cache_classes(module):
+                class_name = info.node.name
+                consumers = [
+                    candidate
+                    for candidate in modules
+                    if candidate is module or class_name in candidate.text
+                ]
+                if not any(
+                    _reset_call_sites(candidate, class_name)
+                    for candidate in consumers
+                ):
+                    yield module.finding(
+                        self.code,
+                        info.node,
+                        f"cache class {class_name!r} defines reset() over "
+                        "mutable state but no linted module ever calls it; "
+                        "per-step caches must be reset when the snapshot "
+                        "advances",
+                    )

@@ -4,6 +4,8 @@ metrics."""
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -543,3 +545,37 @@ class TestFaultSweeps:
         )
         assert ("walker", "gs_maintenance") in cells
         assert output.exists()
+
+
+class TestCompilePathValidation:
+    """Regression tests: the direct compile path validates like FaultSpec."""
+
+    def test_direct_compile_rejects_unknown_parameter(self, context):
+        model = get_fault_model("random_satellite")
+        with pytest.raises(ValueError, match="unknown parameters"):
+            model.compile({"probability": 0.1, "seed": 1}, context)
+
+    def test_direct_compile_rejects_malformed_values(self, context):
+        model = get_fault_model("random_satellite")
+        with pytest.raises(ValueError, match="rate"):
+            model.compile({"rate": 1.5, "seed": 1}, context)
+
+    def test_missing_seed_warns_and_defaults_to_zero(self, context):
+        from repro.network.faults import MissingSeedWarning
+
+        model = get_fault_model("random_satellite")
+        with pytest.warns(MissingSeedWarning):
+            implicit = model.compile({"rate": 0.2}, context)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MissingSeedWarning)
+            explicit = model.compile({"rate": 0.2, "seed": 0}, context)
+        assert np.array_equal(implicit.satellite_up, explicit.satellite_up)
+
+    def test_explicit_seed_compiles_without_warning(self, context):
+        from repro.network.faults import MissingSeedWarning
+
+        model = get_fault_model("link_degradation")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MissingSeedWarning)
+            schedule = model.compile({"fraction": 0.2, "seed": 3}, context)
+        assert schedule.satellite_factor.min() < 1.0
