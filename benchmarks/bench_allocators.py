@@ -111,7 +111,7 @@ def _run_comparison(smoke: bool):
     for step in range(len(sequence)):
         edge_list = sequence.edge_list(step)
         router = SnapshotRouter(backend="csgraph", arrays=edge_list.arrays())
-        flows, _, _ = NetworkSimulator._route_flows(router, candidates)
+        flows = NetworkSimulator._route_flows(router, candidates).flows
         step_flows.append(flows)
         step_views.append(_EdgeListCapacityView(edge_list))
     step_graphs = list(sequence.graphs(copy=True))

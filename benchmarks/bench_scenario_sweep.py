@@ -163,11 +163,10 @@ def _seed_monolithic_run(simulator, scenario, start, duration_hours, step_hours)
         graph = _seed_graph_from_positions(
             simulator.topology, positions, simulator.ground_stations
         )
-        result.steps.append(
-            simulator._simulate_step(
-                SnapshotRouter(graph), graph, matrix, scenario, station_names, utc_hour
-            )
+        stats, _ = simulator._simulate_step(
+            SnapshotRouter(graph), graph, matrix, scenario, station_names, utc_hour
         )
+        result.steps.append(stats)
     return result
 
 

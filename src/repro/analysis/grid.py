@@ -135,6 +135,11 @@ def load_grid(path: "str | Path") -> GridDocument:
         for record in cell["steps"]:
             known = {name: value for name, value in record.items() if name in step_fields}
             known["mean_latency_ms"] = _decode_latency(known.get("mean_latency_ms"))
+            if "top_pairs" in known:
+                # JSON has no tuples; restore the in-memory representation.
+                known["top_pairs"] = tuple(
+                    (src, dst, float(value)) for src, dst, value in known["top_pairs"]
+                )
             steps.append(StepStatistics(**known))
         cells[key] = SimulationResult(steps=steps)
         summaries[key] = {

@@ -72,6 +72,44 @@ class TrafficMatrix:
         """Return the sum of all entries."""
         return float(self.demands.sum())
 
+    def entry_arrays(
+        self, names: "tuple[str, ...] | None" = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised export of the non-zero off-diagonal entries.
+
+        Returns ``(src_ids, dst_ids, demand)`` where the id arrays index
+        ``names`` (or ``self.cities`` when ``names`` is None).  Names with no
+        matching city contribute no entries, mirroring how the per-object
+        path skips endpoints absent from the matrix.  This is the columnar
+        flow engine's entry point: one boolean mask over the demand
+        submatrix instead of an n^2 Python loop.
+        """
+        if names is None:
+            names = tuple(city.name for city in self.cities)
+            positions = np.arange(len(self.cities))
+            ids = positions
+        else:
+            by_name = {city.name: row for row, city in enumerate(self.cities)}
+            located = [
+                (index, by_name[name])
+                for index, name in enumerate(names)
+                if name in by_name
+            ]
+            if not located:
+                empty_ids = np.empty(0, dtype=np.int64)
+                return empty_ids, empty_ids.copy(), np.empty(0, dtype=float)
+            ids = np.array([index for index, _ in located], dtype=np.int64)
+            positions = np.array([row for _, row in located], dtype=np.int64)
+        sub = self.demands[np.ix_(positions, positions)]
+        mask = sub > 0.0
+        np.fill_diagonal(mask, False)
+        src_local, dst_local = np.nonzero(mask)
+        return (
+            ids[src_local].astype(np.int64),
+            ids[dst_local].astype(np.int64),
+            sub[src_local, dst_local].astype(float),
+        )
+
     def top_flows(self, count: int = 10) -> list[tuple[str, str, float]]:
         """Return the ``count`` largest (source, destination, demand) flows."""
         flat = [

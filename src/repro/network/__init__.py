@@ -24,10 +24,12 @@ from .backends import (
     graph_from_edge_arrays,
 )
 from .alloc_arrays import (
+    ARRAY_SOLVERS,
     FlowLinkSystem,
     allocate_max_min_array,
     allocate_proportional_array,
     compile_flow_link_system,
+    compile_system_from_rows,
 )
 from .capacity import (
     ALLOCATORS,
@@ -60,8 +62,21 @@ from .isl import (
     isl_feasible_mask,
     propagation_delay_ms,
 )
+from .flows import FlowTable, RoutedFlowTable, route_flow_table, select_flow_table
 from .routing import RouteResult, SnapshotRouter, TimeAwareRouter
 from .scheduler import PeakShiftScheduler, ScheduleResult
+from .telemetry import (
+    TELEMETRY,
+    AutoTelemetry,
+    CountMinPairStore,
+    ExactPairStore,
+    ExactTelemetry,
+    PairTelemetry,
+    SketchTelemetry,
+    TelemetryModel,
+    get_telemetry,
+    merge_stores,
+)
 from .simulation import (
     NetworkSimulator,
     Scenario,
@@ -90,15 +105,31 @@ __all__ = [
     "graph_from_edge_arrays",
     "run_grid",
     "ALLOCATORS",
+    "ARRAY_SOLVERS",
     "AllocationResult",
     "Flow",
     "FlowLinkSystem",
+    "FlowTable",
+    "RoutedFlowTable",
     "allocate_max_min",
     "allocate_max_min_array",
     "allocate_proportional",
     "allocate_proportional_array",
     "compile_flow_link_system",
+    "compile_system_from_rows",
     "get_allocator",
+    "route_flow_table",
+    "select_flow_table",
+    "TELEMETRY",
+    "AutoTelemetry",
+    "CountMinPairStore",
+    "ExactPairStore",
+    "ExactTelemetry",
+    "PairTelemetry",
+    "SketchTelemetry",
+    "TelemetryModel",
+    "get_telemetry",
+    "merge_stores",
     "FAULT_MODELS",
     "FaultContext",
     "FaultModel",

@@ -56,16 +56,24 @@ from .capacity import ALLOCATORS, AllocationResult, Flow, _link_key
 __all__ = [
     "FlowLinkSystem",
     "compile_flow_link_system",
+    "compile_system_from_rows",
     "allocate_proportional_array",
     "allocate_max_min_array",
+    "ARRAY_SOLVERS",
 ]
 
 
 @dataclass(frozen=True)
 class FlowLinkSystem:
-    """One allocation problem in compiled (flow x link) incidence form."""
+    """One allocation problem in compiled (flow x link) incidence form.
 
-    flow_names: tuple[str, ...]
+    ``flow_names`` and ``link_keys`` are the label-space identities needed
+    to build an :class:`AllocationResult` dict; the columnar flow engine
+    compiles nameless systems (``None``) and reads the rate/utilisation
+    vectors directly, so it never pays for per-flow or per-link labels.
+    """
+
+    flow_names: "tuple[str, ...] | None"
     #: Per-flow demand vector, shape ``(F,)``.
     demand: np.ndarray
     #: Per-link capacity vector, shape ``(L,)``.
@@ -75,11 +83,11 @@ class FlowLinkSystem:
     #: COO columns of the incidence matrix: link of each traversal, ``(nnz,)``.
     link_ids: np.ndarray
     #: Normalised label-space key of every link, for :class:`AllocationResult`.
-    link_keys: tuple[tuple, ...]
+    link_keys: "tuple[tuple, ...] | None"
 
     @property
     def flow_count(self) -> int:
-        return len(self.flow_names)
+        return len(self.demand)
 
     @property
     def link_count(self) -> int:
@@ -180,6 +188,48 @@ def _compile_cache(capacity_graph, edge_list: SnapshotEdgeList) -> _EdgeListComp
     return cache
 
 
+def _match_links(
+    cache: _EdgeListCompileCache, u: np.ndarray, v: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate hop endpoint arrays into links matched to the edge list.
+
+    Returns ``(unique_codes, link_ids, positions, matched)``: each hop's
+    undirected link encoded as one integer, deduplicated by :func:`np.unique`
+    (whose inverse yields the incidence columns), with ``positions`` indexing
+    the cache's sorted code/capacity tables and ``matched`` flagging links
+    actually present in the edge list.  Shared by both row compile paths so
+    object-engine and columnar systems are built by the identical code.
+    """
+    codes = np.minimum(u, v) * cache.node_count + np.maximum(u, v)
+    unique_codes, link_ids = np.unique(codes, return_inverse=True)
+    positions = np.searchsorted(cache.sorted_codes, unique_codes)
+    in_range = positions < cache.sorted_codes.size
+    matched = np.zeros(unique_codes.size, dtype=bool)
+    matched[in_range] = cache.sorted_codes[positions[in_range]] == unique_codes[in_range]
+    positions = np.minimum(positions, max(cache.sorted_codes.size - 1, 0))
+    return unique_codes, link_ids, positions, matched
+
+
+def _link_keys_of(cache: _EdgeListCompileCache, unique_codes: np.ndarray) -> tuple:
+    """Emit the normalised label-space key of every deduplicated link."""
+    labels = cache.labels
+    node_count = cache.node_count
+    los = (unique_codes // node_count).tolist()
+    his = (unique_codes % node_count).tolist()
+    if cache.row_ordered:
+        # A numeric ``lo`` endpoint means the row order already is the
+        # normalised key order; only string-string links (absent from
+        # satellite snapshots) need the python normalisation.
+        prefix = cache.numeric_prefix
+        return tuple(
+            (labels[lo], labels[hi])
+            if lo < prefix
+            else _link_key(labels[lo], labels[hi])
+            for lo, hi in zip(los, his)
+        )
+    return tuple(_link_key(labels[lo], labels[hi]) for lo, hi in zip(los, his))
+
+
 def _compile_from_rows(
     cache: _EdgeListCompileCache, flows: list[Flow]
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
@@ -221,37 +271,12 @@ def _compile_from_rows(
                 f"flow {flow.name!r}: path_rows do not index this snapshot's "
                 "label table"
             )
-    # Encode each undirected link as one integer; np.unique both
-    # deduplicates the links and yields the incidence columns.
-    codes = np.minimum(u, v) * node_count + np.maximum(u, v)
-    unique_codes, link_ids = np.unique(codes, return_inverse=True)
+    unique_codes, link_ids, positions, matched = _match_links(cache, u, v)
     flow_ids = np.repeat(np.arange(len(flows), dtype=np.intp), counts)
-    # Match every link against the edge list to read its capacity.
-    positions = np.searchsorted(cache.sorted_codes, unique_codes)
-    in_range = positions < cache.sorted_codes.size
-    matched = np.zeros(unique_codes.size, dtype=bool)
-    matched[in_range] = cache.sorted_codes[positions[in_range]] == unique_codes[in_range]
     if not matched.all():
         raise _missing_link_error(flows, flow_ids, ~matched[link_ids])
     capacity = cache.sorted_capacity[positions]
-    los = (unique_codes // node_count).tolist()
-    his = (unique_codes % node_count).tolist()
-    if cache.row_ordered:
-        # A numeric ``lo`` endpoint means the row order already is the
-        # normalised key order; only string-string links (absent from
-        # satellite snapshots) need the python normalisation.
-        prefix = cache.numeric_prefix
-        link_keys = tuple(
-            (labels[lo], labels[hi])
-            if lo < prefix
-            else _link_key(labels[lo], labels[hi])
-            for lo, hi in zip(los, his)
-        )
-    else:
-        link_keys = tuple(
-            _link_key(labels[lo], labels[hi]) for lo, hi in zip(los, his)
-        )
-    return flow_ids, link_ids, capacity, link_keys
+    return flow_ids, link_ids, capacity, _link_keys_of(cache, unique_codes)
 
 
 def _compile_from_graph(
@@ -321,6 +346,67 @@ def compile_flow_link_system(capacity_graph, flows: list[Flow]) -> FlowLinkSyste
     )
 
 
+def compile_system_from_rows(
+    capacity_graph,
+    demand: np.ndarray,
+    offsets: np.ndarray,
+    rows: np.ndarray,
+    with_keys: bool = False,
+) -> FlowLinkSystem:
+    """Compile ragged row-index paths straight into a nameless system.
+
+    The columnar engine's compile path: flow ``i`` follows
+    ``rows[offsets[i]:offsets[i + 1]]`` (empty segments -- unreachable or
+    zero-hop flows -- contribute no traversals) and demands ``demand[i]``.
+    No :class:`~repro.network.capacity.Flow` objects, names or label paths
+    are ever materialised; the incidence arrays come out bit-identical to
+    :func:`compile_flow_link_system` over the equivalent object flows, which
+    is what makes the two engines' allocations comparable to the last bit.
+
+    ``capacity_graph`` must expose a :class:`SnapshotEdgeList` as
+    ``edge_list``; ``with_keys`` additionally emits the per-link label keys
+    (skipped by default -- the columnar statistics only need the utilisation
+    vector).
+    """
+    edge_list = getattr(capacity_graph, "edge_list", None)
+    if not isinstance(edge_list, SnapshotEdgeList):
+        raise ValueError(
+            "compile_system_from_rows requires a capacity view exposing a "
+            "SnapshotEdgeList"
+        )
+    cache = _compile_cache(capacity_graph, edge_list)
+    demand = np.asarray(demand, dtype=float)
+    offsets = np.asarray(offsets, dtype=np.intp)
+    rows = np.asarray(rows, dtype=np.intp)
+    if offsets.size != demand.size + 1:
+        raise ValueError("offsets must have one entry more than demand")
+    if rows.size and (rows.min() < 0 or rows.max() >= cache.node_count):
+        raise ValueError("path rows do not index this snapshot's label table")
+    lengths = np.diff(offsets)
+    counts = np.maximum(lengths - 1, 0)
+    # Hop endpoints: every row except each segment's last (u) / first (v),
+    # selected by boolean masks so the global hop order stays flow-by-flow,
+    # hop-by-hop -- the exact order the object compile path produces.
+    keep_u = np.ones(rows.size, dtype=bool)
+    keep_v = np.ones(rows.size, dtype=bool)
+    nonempty = lengths > 0
+    keep_u[offsets[1:][nonempty] - 1] = False
+    keep_v[offsets[:-1][nonempty]] = False
+    unique_codes, link_ids, positions, matched = _match_links(
+        cache, rows[keep_u], rows[keep_v]
+    )
+    if not matched.all():
+        raise ValueError("a flow path uses a link not present in the snapshot")
+    return FlowLinkSystem(
+        flow_names=None,
+        demand=demand,
+        capacity=cache.sorted_capacity[positions],
+        flow_ids=np.repeat(np.arange(demand.size, dtype=np.intp), counts),
+        link_ids=link_ids,
+        link_keys=_link_keys_of(cache, unique_codes) if with_keys else None,
+    )
+
+
 def _result(
     system: FlowLinkSystem, rates: np.ndarray, utilisation: np.ndarray
 ) -> AllocationResult:
@@ -334,14 +420,8 @@ def _result(
     )
 
 
-def allocate_proportional_array(capacity_graph, flows: list[Flow]) -> AllocationResult:
-    """Array-native proportional scaling; see :func:`allocate_proportional`.
-
-    One incidence compile plus three sparse matrix-vector products: loads
-    from demands, the starved-flow mask from zero-capacity links, and the
-    common scale from the most congested link.
-    """
-    system = compile_flow_link_system(capacity_graph, flows)
+def _solve_proportional(system: FlowLinkSystem) -> tuple[np.ndarray, np.ndarray]:
+    """Proportional-scaling fixed point; returns ``(rates, utilisation)``."""
     demand, capacity = system.demand, system.capacity
     load = system.link_loads(demand)
     starved_links = (capacity <= 0.0) & (load > 0.0)
@@ -357,23 +437,13 @@ def allocate_proportional_array(capacity_graph, flows: list[Flow]) -> Allocation
     positive = capacity > 0.0
     utilisation[positive] = load[positive] * scale / capacity[positive]
     utilisation[starved_links] = 1.0
-    return _result(system, allocated, utilisation)
+    return allocated, utilisation
 
 
-def allocate_max_min_array(
-    capacity_graph, flows: list[Flow], iterations: int | None = None
-) -> AllocationResult:
-    """Array-native max-min waterfilling; see :func:`allocate_max_min`.
-
-    Each round is a handful of sparse matrix-vector products over the
-    incidence arrays: the uniform increment is the minimum of remaining
-    demands and per-link headroom-over-active-count shares (clamped at 0 --
-    accumulated tolerance must never drive rates down), freezes are boolean
-    mask updates, and when the float tolerances miss the binding constraint
-    it is frozen directly, so every round retires at least one flow and the
-    loop terminates without an iteration cap.
-    """
-    system = compile_flow_link_system(capacity_graph, flows)
+def _solve_max_min(
+    system: FlowLinkSystem, iterations: "int | None" = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Max-min waterfilling fixed point; returns ``(rates, utilisation)``."""
     demand, capacity = system.demand, system.capacity
     link_count = system.link_count
     rates = np.zeros(system.flow_count)
@@ -426,7 +496,45 @@ def allocate_max_min_array(
         # Zero-capacity links with demand trying to cross are saturated,
         # not idle -- the reference allocators' convention.
         utilisation[~positive & (system.link_loads(demand) > 0.0)] = 1.0
-    return _result(system, rates, utilisation)
+    return rates, utilisation
+
+
+def allocate_proportional_array(capacity_graph, flows: list[Flow]) -> AllocationResult:
+    """Array-native proportional scaling; see :func:`allocate_proportional`.
+
+    One incidence compile plus three sparse matrix-vector products: loads
+    from demands, the starved-flow mask from zero-capacity links, and the
+    common scale from the most congested link.
+    """
+    system = compile_flow_link_system(capacity_graph, flows)
+    return _result(system, *_solve_proportional(system))
+
+
+def allocate_max_min_array(
+    capacity_graph, flows: list[Flow], iterations: int | None = None
+) -> AllocationResult:
+    """Array-native max-min waterfilling; see :func:`allocate_max_min`.
+
+    Each round is a handful of sparse matrix-vector products over the
+    incidence arrays: the uniform increment is the minimum of remaining
+    demands and per-link headroom-over-active-count shares (clamped at 0 --
+    accumulated tolerance must never drive rates down), freezes are boolean
+    mask updates, and when the float tolerances miss the binding constraint
+    it is frozen directly, so every round retires at least one flow and the
+    loop terminates without an iteration cap.
+    """
+    system = compile_flow_link_system(capacity_graph, flows)
+    return _result(system, *_solve_max_min(system, iterations))
+
+
+#: Solver cores by allocator registry name: the columnar engine compiles a
+#: nameless system and calls these directly, skipping the result-dict
+#: round-trip.  An allocator outside this map has no array solver, so the
+#: columnar engine falls back to the object reference path for it.
+ARRAY_SOLVERS = {
+    "proportional_array": _solve_proportional,
+    "max_min_array": _solve_max_min,
+}
 
 
 #: Introspection metadata mirroring ``RoutingBackend.uses_arrays``: these

@@ -283,6 +283,59 @@ class _PredecessorRoutes(Mapping):
         self._reachable = np.flatnonzero(np.isfinite(distances))
         self._built: dict = {}
 
+    @property
+    def node_index(self) -> NodeIndex:
+        """Label table of the snapshot this route table was solved on."""
+        return self._node_index
+
+    def bulk_path_rows(
+        self, dest_rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised path export for a batch of destination rows.
+
+        Returns ``(offsets, rows_buffer, latency_ms)``: path ``i`` occupies
+        ``rows_buffer[offsets[i]:offsets[i + 1]]`` (source first, destination
+        last -- identical rows to :meth:`_reconstruct`) and has latency
+        ``latency_ms[i]``.  Unreachable or unknown destinations (negative
+        row, non-finite distance) get an empty segment and ``inf`` latency.
+
+        The predecessor walk runs layer-by-layer over the whole batch --
+        every pending destination steps one hop per iteration -- so the
+        Python-level work is O(longest path), not O(total rows).
+        """
+        dest_rows = np.asarray(dest_rows, dtype=np.intp)
+        count = dest_rows.size
+        latency = np.full(count, np.inf)
+        lengths = np.zeros(count, dtype=np.intp)
+        known = dest_rows >= 0
+        safe_rows = np.where(known, dest_rows, 0)
+        reachable = known & np.isfinite(self._distances[safe_rows])
+        latency[reachable] = self._distances[safe_rows[reachable]]
+        # Walk predecessors for all reachable destinations at once, recording
+        # each layer; depth[i] counts hops from destination i to the source.
+        cursor = safe_rows.copy()
+        depth = np.zeros(count, dtype=np.intp)
+        pending = reachable.copy()
+        layers: list[tuple[np.ndarray, np.ndarray]] = []
+        while True:
+            pending = pending & (cursor != self._source_row)
+            if not pending.any():
+                break
+            layers.append((np.flatnonzero(pending), cursor[pending].copy()))
+            depth[pending] += 1
+            cursor[pending] = self._predecessors[cursor[pending]]
+        lengths[reachable] = depth[reachable] + 1
+        offsets = np.zeros(count + 1, dtype=np.intp)
+        np.cumsum(lengths, out=offsets[1:])
+        buffer = np.empty(int(offsets[-1]), dtype=np.intp)
+        # The source sits at each segment's start; the layer recorded at walk
+        # step k holds the node depth[i]-k hops along path i, i.e. position
+        # offsets[i] + depth[i] - k (destination itself at k=0).
+        buffer[offsets[:-1][reachable]] = self._source_row
+        for step, (where, nodes) in enumerate(layers):
+            buffer[offsets[:-1][where] + depth[where] - step] = nodes
+        return offsets, buffer, latency
+
     def _reconstruct(self, row: int) -> RouteResult:
         path_rows = [row]
         while path_rows[-1] != self._source_row:

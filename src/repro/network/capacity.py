@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import networkx as nx
+import numpy as np
 
 __all__ = [
     "Flow",
@@ -90,8 +91,16 @@ class AllocationResult:
     link_utilisation: dict[tuple, float]
 
     def total_allocated(self) -> float:
-        """Return the sum of allocated rates."""
-        return sum(self.allocated_gbps.values())
+        """Return the sum of allocated rates.
+
+        Summed as a float64 numpy reduction (not a sequential python
+        ``sum``) so the total is bit-identical to the columnar engine's
+        ``rates.sum()`` over the same values in the same order.
+        """
+        values = self.allocated_gbps.values()
+        return float(
+            np.fromiter(values, dtype=float, count=len(values)).sum()
+        )
 
     def worst_link_utilisation(self) -> float:
         """Return the highest link utilisation (1.0 means saturated)."""

@@ -69,17 +69,20 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Mapping as MappingType
+from typing import Mapping as MappingType, NamedTuple
 
 import numpy as np
 
 from ..demand.traffic_matrix import GravityTrafficModel, TrafficMatrix
+from .alloc_arrays import ARRAY_SOLVERS, compile_system_from_rows
 from ..orbits.time import Epoch, epoch_range
 from .backends import RoutingBackend, SnapshotEdgeList, get_backend
 from .capacity import AllocationResult, Flow, get_allocator
 from .faults import FaultContext, FaultSchedule, FaultSpec, compile_faults, normalise_fault_specs
+from .flows import FlowTable, route_flow_table, select_flow_table
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
+from .telemetry import PairTelemetry, get_telemetry
 from .topology import ConstellationTopology, MultiShellTopology
 
 __all__ = [
@@ -121,6 +124,18 @@ class Scenario:
         network.  Specs are validated against
         :data:`repro.network.faults.FAULT_MODELS` at construction, so a
         malformed fault scenario fails immediately instead of mid-sweep.
+    flow_engine:
+        Flow-pipeline implementation: ``"objects"`` runs the per-``Flow``
+        reference stages, ``"columnar"`` the array-native engine of
+        :mod:`repro.network.flows` (identical statistics, no per-flow
+        Python -- the scaling path for large flow budgets).  ``None``
+        defers to the sweep-level default of :meth:`NetworkSimulator.run_scenarios`.
+    telemetry:
+        Station-pair telemetry model name, looked up in
+        :data:`repro.network.telemetry.TELEMETRY` (``"exact"``,
+        ``"sketch"``, ``"auto"``); enables per-step top-pair summaries on
+        :class:`StepStatistics` and a mergeable per-run aggregate on
+        :class:`SimulationResult`.  ``None`` collects nothing.
     """
 
     name: str
@@ -130,6 +145,8 @@ class Scenario:
     allocator: str = "proportional"
     backend: str | None = None
     faults: "tuple[FaultSpec, ...] | None" = None
+    flow_engine: str | None = None
+    telemetry: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -148,6 +165,15 @@ class Scenario:
         get_allocator(self.allocator)  # validate the policy name early
         if self.backend is not None:
             get_backend(self.backend)  # validate the backend name early
+        if self.flow_engine is not None and self.flow_engine not in (
+            "objects",
+            "columnar",
+        ):
+            raise ValueError(
+                f"flow_engine must be 'objects' or 'columnar', got {self.flow_engine!r}"
+            )
+        if self.telemetry is not None:
+            get_telemetry(self.telemetry)  # validate the model name early
         object.__setattr__(self, "faults", normalise_fault_specs(self.faults))
 
 
@@ -173,6 +199,9 @@ class StepStatistics:
     satellites_up_fraction: float = 1.0
     #: Fraction of this scenario's ground stations up at this step.
     stations_up_fraction: float = 1.0
+    #: Largest (source, destination, offered Gbps) station pairs of the step,
+    #: from the scenario's telemetry model; empty when telemetry is off.
+    top_pairs: tuple[tuple[str, str, float], ...] = ()
 
     @property
     def delivery_ratio(self) -> float:
@@ -187,6 +216,10 @@ class SimulationResult:
     """Collected per-step statistics of one simulation run."""
 
     steps: list[StepStatistics] = field(default_factory=list)
+    #: Whole-run station-pair telemetry aggregate (per-step collections
+    #: merged in step order -- including across process workers), present
+    #: only when the scenario enabled a telemetry model.
+    telemetry: PairTelemetry | None = None
 
     def _require_steps(self) -> None:
         if not self.steps:
@@ -396,6 +429,17 @@ class _EdgeListCapacityView:
         return (a, b) in attributes or (b, a) in attributes
 
 
+class _RoutedFlows(NamedTuple):
+    """Stage-3 output of the object engine, with array-derived totals."""
+
+    flows: list[Flow]
+    latencies: list[float]
+    #: Total demand of every candidate [Gbps] (numpy reduction).
+    offered: float
+    #: Total demand of the candidates that found a route [Gbps].
+    routed: float
+
+
 @dataclass(frozen=True)
 class _WorkerScenario:
     """One scenario's fully resolved evaluation spec, shipped to a worker.
@@ -413,6 +457,7 @@ class _WorkerScenario:
     group_index: int
     satellites_up: tuple[float, ...] | None = None
     stations_up: tuple[float, ...] | None = None
+    flow_engine: str = "objects"
 
 
 def _sweep_process_worker(
@@ -420,7 +465,7 @@ def _sweep_process_worker(
     edge_lists: dict[int, list[SnapshotEdgeList]],
     utc_hours: list[float],
     traffic_model: GravityTrafficModel,
-) -> dict[str, list[StepStatistics]]:
+) -> "dict[str, tuple[list[StepStatistics], PairTelemetry | None]]":
     """Evaluate a slice of a sweep's scenarios over shipped edge arrays.
 
     Module-level so it pickles under every multiprocessing start method.
@@ -428,11 +473,16 @@ def _sweep_process_worker(
     for ``csgraph``, a routing graph for ``networkx`` -- and allocates over
     the capacity view, so results are identical to the in-process path.
     ``edge_lists`` is keyed by snapshot group (station subset plus fault
-    schedule); masked groups ship already-degraded arrays.
+    schedule); masked groups ship already-degraded arrays.  Per-step
+    telemetry is merged worker-side in step order (stores are plain numpy
+    state, so the merged aggregate pickles back cheaply).
     """
     matrix_cache = _TrafficMatrixCache(traffic_model)
-    results: dict[str, list[StepStatistics]] = {
+    steps: dict[str, list[StepStatistics]] = {
         spec.scenario.name: [] for spec in specs
+    }
+    aggregates: "dict[str, PairTelemetry | None]" = {
+        spec.scenario.name: None for spec in specs
     }
     for step, utc_hour in enumerate(utc_hours):
         matrix = matrix_cache.matrix_at(utc_hour)
@@ -453,25 +503,31 @@ def _sweep_process_worker(
                 views[spec.group_index] = _EdgeListCapacityView(
                     edge_lists[spec.group_index][step]
                 )
-            results[spec.scenario.name].append(
-                NetworkSimulator._evaluate_scenario_step(
-                    routers[key],
-                    views[spec.group_index],
-                    matrix,
-                    spec.scenario,
-                    spec.station_names,
-                    spec.flows_per_step,
-                    utc_hour,
-                    route_cache=caches[key],
-                    satellites_up_fraction=(
-                        spec.satellites_up[step] if spec.satellites_up else 1.0
-                    ),
-                    stations_up_fraction=(
-                        spec.stations_up[step] if spec.stations_up else 1.0
-                    ),
-                )
+            stats, step_telemetry = NetworkSimulator._evaluate_scenario_step(
+                routers[key],
+                views[spec.group_index],
+                matrix,
+                spec.scenario,
+                spec.station_names,
+                spec.flows_per_step,
+                utc_hour,
+                route_cache=caches[key],
+                satellites_up_fraction=(
+                    spec.satellites_up[step] if spec.satellites_up else 1.0
+                ),
+                stations_up_fraction=(
+                    spec.stations_up[step] if spec.stations_up else 1.0
+                ),
+                flow_engine=spec.flow_engine,
             )
-    return results
+            name = spec.scenario.name
+            steps[name].append(stats)
+            if step_telemetry is not None:
+                if aggregates[name] is None:
+                    aggregates[name] = step_telemetry
+                else:
+                    aggregates[name].merge(step_telemetry)
+    return {name: (steps[name], aggregates[name]) for name in steps}
 
 
 @dataclass
@@ -507,6 +563,7 @@ class NetworkSimulator:
         step_hours: float = 1.0,
         allocator: str = "proportional",
         backend: "str | RoutingBackend" = "networkx",
+        flow_engine: str = "objects",
     ) -> SimulationResult:
         """Run a single default scenario and return per-step statistics.
 
@@ -515,7 +572,12 @@ class NetworkSimulator:
         """
         scenario = Scenario(name="run", allocator=allocator)
         return self.run_scenarios(
-            [scenario], start, duration_hours, step_hours, backend=backend
+            [scenario],
+            start,
+            duration_hours,
+            step_hours,
+            backend=backend,
+            flow_engine=flow_engine,
         )["run"]
 
     def run_scenarios(
@@ -527,6 +589,7 @@ class NetworkSimulator:
         max_workers: int | None = None,
         backend: "str | RoutingBackend" = "networkx",
         executor: str = "thread",
+        flow_engine: str = "objects",
     ) -> dict[str, SimulationResult]:
         """Run every scenario over one shared snapshot sequence.
 
@@ -556,12 +619,21 @@ class NetworkSimulator:
         per-step edge arrays and evaluates them on a separate core -- real
         multi-core scaling for large sweeps.  Results are deterministic
         under every executor.
+
+        ``flow_engine`` selects the sweep's default flow pipeline
+        (``"objects"`` or ``"columnar"``, see :attr:`Scenario.flow_engine`
+        for the per-scenario override); both engines produce identical
+        statistics, the columnar one without per-flow Python.
         """
         if duration_hours <= 0 or step_hours <= 0:
             raise ValueError("duration_hours and step_hours must be positive")
         if executor not in ("thread", "process"):
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        if flow_engine not in ("objects", "columnar"):
+            raise ValueError(
+                f"flow_engine must be 'objects' or 'columnar', got {flow_engine!r}"
             )
         scenarios = list(scenarios)
         if not scenarios:
@@ -628,6 +700,7 @@ class NetworkSimulator:
                 sequence,
                 utc_hours,
                 max_workers,
+                flow_engine,
             )
 
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
@@ -726,7 +799,9 @@ class NetworkSimulator:
                 for cache in route_caches.values():
                     cache.reset()
 
-                def _evaluate(scenario: Scenario) -> StepStatistics:
+                def _evaluate(
+                    scenario: Scenario,
+                ) -> "tuple[StepStatistics, PairTelemetry | None]":
                     key = router_keys[scenario.name]
                     group = key[:2]
                     schedule = schedules[
@@ -754,14 +829,21 @@ class NetworkSimulator:
                             if schedule is not None
                             else 1.0
                         ),
+                        flow_engine=flow_engine,
                     )
 
                 if pool is not None:
                     step_stats = list(pool.map(_evaluate, scenarios))
                 else:
                     step_stats = [_evaluate(scenario) for scenario in scenarios]
-                for scenario, stats in zip(scenarios, step_stats):
-                    results[scenario.name].steps.append(stats)
+                for scenario, (stats, step_telemetry) in zip(scenarios, step_stats):
+                    result = results[scenario.name]
+                    result.steps.append(stats)
+                    if step_telemetry is not None:
+                        if result.telemetry is None:
+                            result.telemetry = step_telemetry
+                        else:
+                            result.telemetry.merge(step_telemetry)
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -776,6 +858,7 @@ class NetworkSimulator:
         sequence,
         utc_hours: list[float],
         max_workers: int,
+        flow_engine: str = "objects",
     ) -> dict[str, SimulationResult]:
         """Fan a sweep out to worker processes over picklable edge arrays.
 
@@ -840,10 +923,11 @@ class NetworkSimulator:
                         if schedule is not None
                         else None
                     ),
+                    flow_engine=flow_engine,
                 )
             )
         chunks = [chunk for chunk in (specs[i::max_workers] for i in range(max_workers)) if chunk]
-        merged: dict[str, list[StepStatistics]] = {}
+        merged: "dict[str, tuple[list[StepStatistics], PairTelemetry | None]]" = {}
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             futures = [
                 pool.submit(
@@ -861,7 +945,10 @@ class NetworkSimulator:
             for future in futures:
                 merged.update(future.result())
         return {
-            scenario.name: SimulationResult(steps=merged[scenario.name])
+            scenario.name: SimulationResult(
+                steps=merged[scenario.name][0],
+                telemetry=merged[scenario.name][1],
+            )
             for scenario in scenarios
         }
 
@@ -888,14 +975,20 @@ class NetworkSimulator:
         flows_per_step: int,
         demand_multiplier: float,
     ) -> list[tuple[str, str, float]]:
-        """Stage 2: filter, scale and budget the step's candidate flows."""
+        """Stage 2: filter, scale and budget the step's candidate flows.
+
+        The sort key is total -- demand descending, then (src, dst) names --
+        so the budget cut is deterministic even among equal-demand
+        candidates, whatever order the matrix yields them in (and identical
+        to the columnar engine's lexsorted selection).
+        """
         names = set(station_names)
         candidates = [
             (source.name, destination.name, demand * demand_multiplier)
             for (source, destination, demand) in NetworkSimulator._matrix_entries(matrix)
             if source.name in names and destination.name in names
         ]
-        candidates.sort(key=lambda item: item[2], reverse=True)
+        candidates.sort(key=lambda item: (-item[2], item[0], item[1]))
         return candidates[:flows_per_step]
 
     @staticmethod
@@ -903,7 +996,7 @@ class NetworkSimulator:
         router: SnapshotRouter,
         candidate_flows: list[tuple[str, str, float]],
         route_cache: _SharedRouteCache | None = None,
-    ) -> tuple[list[Flow], list[float], float]:
+    ) -> "_RoutedFlows":
         """Stage 3: route candidates, one batched backend call per step.
 
         All distinct sources are handed to the router in a single
@@ -912,20 +1005,31 @@ class NetworkSimulator:
         ``route_cache`` may be shared by every scenario evaluated on the same
         snapshot: shortest paths depend only on the snapshot, so a sweep pays
         each search once per step rather than once per scenario.
+
+        The offered/routed totals come back as numpy reductions over the
+        per-candidate demand vector -- the same reduction (over the same
+        element order) the columnar engine uses, so the two engines' scalar
+        statistics agree to the last bit.
         """
         cache = route_cache if route_cache is not None else _SharedRouteCache()
         sources = list(
             dict.fromkeys(f"gs:{source}" for source, _, _ in candidate_flows)
         )
         tables = cache.routes_from_many(router, sources) if sources else {}
+        count = len(candidate_flows)
+        demands = np.fromiter(
+            (demand for _, _, demand in candidate_flows), dtype=float, count=count
+        )
+        routed_mask = np.zeros(count, dtype=bool)
         flows: list[Flow] = []
         latencies: list[float] = []
-        offered = 0.0
-        for source_name, destination_name, demand in candidate_flows:
-            offered += demand
+        for index, (source_name, destination_name, demand) in enumerate(
+            candidate_flows
+        ):
             route = tables[f"gs:{source_name}"].get(f"gs:{destination_name}")
             if route is None:
                 continue
+            routed_mask[index] = True
             latencies.append(route.latency_ms)
             flows.append(
                 Flow(
@@ -938,7 +1042,12 @@ class NetworkSimulator:
                     path_rows=route.path_rows,
                 )
             )
-        return flows, latencies, offered
+        return _RoutedFlows(
+            flows=flows,
+            latencies=latencies,
+            offered=float(demands.sum()),
+            routed=float(demands[routed_mask].sum()),
+        )
 
     @staticmethod
     def _allocate(
@@ -955,6 +1064,24 @@ class NetworkSimulator:
         return get_allocator(allocator)(capacity_graph, flows)
 
     @staticmethod
+    def _step_pair_telemetry(
+        scenario: Scenario,
+        station_names: tuple[str, ...],
+        src_ids,
+        dst_ids,
+        demands,
+    ) -> "PairTelemetry | None":
+        """Stage 5a: collect the step's station-pair offered-demand summary."""
+        if scenario.telemetry is None:
+            return None
+        model = get_telemetry(scenario.telemetry)
+        telemetry = PairTelemetry(
+            labels=tuple(station_names), store=model.store(len(demands))
+        )
+        telemetry.observe_pairs(src_ids, dst_ids, demands)
+        return telemetry
+
+    @staticmethod
     def _evaluate_scenario_step(
         router: SnapshotRouter,
         capacity_graph,
@@ -966,31 +1093,208 @@ class NetworkSimulator:
         route_cache: _SharedRouteCache | None = None,
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
-    ) -> StepStatistics:
-        """Run stages 2-5 of the pipeline for one scenario at one step."""
+        flow_engine: str = "objects",
+    ) -> "tuple[StepStatistics, PairTelemetry | None]":
+        """Run stages 2-5 of the pipeline for one scenario at one step.
+
+        ``flow_engine`` is the sweep default; :attr:`Scenario.flow_engine`
+        overrides it per scenario.  Returns the step statistics plus the
+        step's telemetry collection (``None`` when telemetry is off).
+        """
+        if scenario.flow_engine is not None:
+            flow_engine = scenario.flow_engine
+        if flow_engine == "columnar":
+            return NetworkSimulator._evaluate_columnar_step(
+                router,
+                capacity_graph,
+                matrix,
+                scenario,
+                station_names,
+                flows_per_step,
+                utc_hour,
+                route_cache=route_cache,
+                satellites_up_fraction=satellites_up_fraction,
+                stations_up_fraction=stations_up_fraction,
+            )
         candidate_flows = NetworkSimulator._select_flows(
             matrix, station_names, flows_per_step, scenario.demand_multiplier
         )
-        flows, latencies, offered = NetworkSimulator._route_flows(
-            router, candidate_flows, route_cache
+        telemetry: PairTelemetry | None = None
+        if scenario.telemetry is not None:
+            ids = {name: index for index, name in enumerate(station_names)}
+            count = len(candidate_flows)
+            telemetry = NetworkSimulator._step_pair_telemetry(
+                scenario,
+                station_names,
+                np.fromiter(
+                    (ids[src] for src, _, _ in candidate_flows),
+                    dtype=np.int64,
+                    count=count,
+                ),
+                np.fromiter(
+                    (ids[dst] for _, dst, _ in candidate_flows),
+                    dtype=np.int64,
+                    count=count,
+                ),
+                np.fromiter(
+                    (demand for _, _, demand in candidate_flows),
+                    dtype=float,
+                    count=count,
+                ),
+            )
+        routed = NetworkSimulator._route_flows(router, candidate_flows, route_cache)
+        stats = NetworkSimulator._step_statistics(
+            scenario,
+            utc_hour,
+            candidate_count=len(candidate_flows),
+            routed_count=len(routed.flows),
+            offered=routed.offered,
+            routed_gbps=routed.routed,
+            latencies=routed.latencies,
+            allocation=NetworkSimulator._allocate(
+                capacity_graph, routed.flows, scenario.allocator
+            ),
+            satellites_up_fraction=satellites_up_fraction,
+            stations_up_fraction=stations_up_fraction,
+            telemetry=telemetry,
         )
-        allocation = NetworkSimulator._allocate(capacity_graph, flows, scenario.allocator)
-        delivered = allocation.total_allocated() if allocation else 0.0
-        worst_util = allocation.worst_link_utilisation() if allocation else 0.0
-        routed = sum(flow.demand_gbps for flow in flows)
+        return stats, telemetry
+
+    @staticmethod
+    def _step_statistics(
+        scenario: Scenario,
+        utc_hour: float,
+        candidate_count: int,
+        routed_count: int,
+        offered: float,
+        routed_gbps: float,
+        latencies,
+        allocation: "AllocationResult | None",
+        satellites_up_fraction: float,
+        stations_up_fraction: float,
+        telemetry: "PairTelemetry | None",
+        delivered: "float | None" = None,
+        worst_util: "float | None" = None,
+    ) -> StepStatistics:
+        """Stage 5: fold one step's pipeline outputs into statistics.
+
+        The columnar fast path passes ``delivered`` / ``worst_util``
+        directly from its solver vectors (no :class:`AllocationResult` is
+        built); the object path derives them from the allocation here.
+        """
+        if delivered is None:
+            delivered = allocation.total_allocated() if allocation else 0.0
+        if worst_util is None:
+            worst_util = allocation.worst_link_utilisation() if allocation else 0.0
+        latencies = np.asarray(latencies, dtype=float)
+        top_pairs: tuple = ()
+        if telemetry is not None:
+            top_pairs = telemetry.top_pairs(
+                get_telemetry(scenario.telemetry).summary_pairs
+            )
         return StepStatistics(
             utc_hour=utc_hour,
             offered_gbps=offered,
             delivered_gbps=delivered,
             reachable_fraction=(
-                len(flows) / len(candidate_flows) if candidate_flows else 1.0
+                routed_count / candidate_count if candidate_count else 1.0
             ),
-            mean_latency_ms=float(np.mean(latencies)) if latencies else float("inf"),
+            mean_latency_ms=(
+                float(np.mean(latencies)) if latencies.size else float("inf")
+            ),
             worst_link_utilisation=worst_util,
-            stranded_gbps=max(0.0, offered - routed),
+            stranded_gbps=max(0.0, offered - routed_gbps),
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
+            top_pairs=top_pairs,
         )
+
+    @staticmethod
+    def _evaluate_columnar_step(
+        router: SnapshotRouter,
+        capacity_graph,
+        matrix: TrafficMatrix,
+        scenario: Scenario,
+        station_names: tuple[str, ...],
+        flows_per_step: int,
+        utc_hour: float,
+        route_cache: _SharedRouteCache | None = None,
+        satellites_up_fraction: float = 1.0,
+        stations_up_fraction: float = 1.0,
+    ) -> "tuple[StepStatistics, PairTelemetry | None]":
+        """Stages 2-5 with the columnar engine: no per-flow Python.
+
+        Selection, routing fan-out, incidence compilation, allocation and
+        every scalar statistic run as whole-array numpy over the step's
+        :class:`~repro.network.flows.FlowTable`.  The fast path requires an
+        array-native backend (bulk predecessor exports), an edge-list
+        capacity view and an array allocator; any other combination routes
+        the *same columnar selection* through the reference stages, so
+        results are identical either way.
+        """
+        table = select_flow_table(
+            matrix, station_names, flows_per_step, scenario.demand_multiplier
+        )
+        telemetry = NetworkSimulator._step_pair_telemetry(
+            scenario, station_names, table.src, table.dst, table.demand
+        )
+        edge_list = getattr(capacity_graph, "edge_list", None)
+        routed = None
+        if (
+            getattr(router.backend, "uses_arrays", False)
+            and isinstance(edge_list, SnapshotEdgeList)
+            and scenario.allocator in ARRAY_SOLVERS
+        ):
+            routed = route_flow_table(router, table, route_cache)
+        if routed is None:
+            # Reference fallback: the columnar selection feeds the object
+            # stages (graph-view backend, dict allocator, or a routing
+            # table without bulk export).
+            candidate_flows = table.candidates()
+            reference = NetworkSimulator._route_flows(
+                router, candidate_flows, route_cache
+            )
+            stats = NetworkSimulator._step_statistics(
+                scenario,
+                utc_hour,
+                candidate_count=len(candidate_flows),
+                routed_count=len(reference.flows),
+                offered=reference.offered,
+                routed_gbps=reference.routed,
+                latencies=reference.latencies,
+                allocation=NetworkSimulator._allocate(
+                    capacity_graph, reference.flows, scenario.allocator
+                ),
+                satellites_up_fraction=satellites_up_fraction,
+                stations_up_fraction=stations_up_fraction,
+                telemetry=telemetry,
+            )
+            return stats, telemetry
+        demand, offsets, rows = routed.compact()
+        delivered = 0.0
+        worst_util = 0.0
+        if demand.size:
+            system = compile_system_from_rows(capacity_graph, demand, offsets, rows)
+            rates, utilisation = ARRAY_SOLVERS[scenario.allocator](system)
+            delivered = float(rates.sum())
+            if utilisation.size:
+                worst_util = float(utilisation.max())
+        stats = NetworkSimulator._step_statistics(
+            scenario,
+            utc_hour,
+            candidate_count=table.flow_count,
+            routed_count=int(np.count_nonzero(routed.reachable)),
+            offered=float(table.demand.sum()),
+            routed_gbps=float(demand.sum()),
+            latencies=routed.latency_ms[routed.reachable],
+            allocation=None,
+            satellites_up_fraction=satellites_up_fraction,
+            stations_up_fraction=stations_up_fraction,
+            telemetry=telemetry,
+            delivered=delivered,
+            worst_util=worst_util,
+        )
+        return stats, telemetry
 
     def _simulate_step(
         self,
@@ -1003,7 +1307,8 @@ class NetworkSimulator:
         route_cache: _SharedRouteCache | None = None,
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
-    ) -> StepStatistics:
+        flow_engine: str = "objects",
+    ) -> "tuple[StepStatistics, PairTelemetry | None]":
         """Resolve the scenario's flow budget and evaluate one step."""
         flows_per_step = (
             scenario.flows_per_step
@@ -1021,6 +1326,7 @@ class NetworkSimulator:
             route_cache=route_cache,
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
+            flow_engine=flow_engine,
         )
 
     @staticmethod
@@ -1048,6 +1354,7 @@ def run_grid(
     backend: "str | RoutingBackend" = "networkx",
     max_workers: int | None = None,
     executor: str = "thread",
+    flow_engine: str = "objects",
     output_path: "str | Path | None" = None,
 ) -> dict[tuple[str, str], SimulationResult]:
     """Cross-product sweep: every constellation design times every scenario.
@@ -1088,6 +1395,7 @@ def run_grid(
             max_workers=max_workers,
             backend=backend,
             executor=executor,
+            flow_engine=flow_engine,
         )
         for scenario_name, result in sweep.items():
             cells[(design_name, scenario_name)] = result

@@ -255,6 +255,27 @@ def _fault_model_check(key: str, value: object) -> list[str]:
     return problems
 
 
+def _telemetry_check(key: str, value: object) -> list[str]:
+    from ...network.telemetry import TelemetryModel
+
+    problems: list[str] = []
+    if not isinstance(value, TelemetryModel):
+        problems.append(f"entry {type(value).__name__!r} is not a TelemetryModel")
+        return problems
+    if not isinstance(getattr(value, "name", None), str):
+        problems.append("telemetry model .name must be a string")
+    if not isinstance(getattr(value, "summary_pairs", None), int):
+        problems.append("telemetry model .summary_pairs must be an int")
+    bound = getattr(value, "store", None)
+    if not callable(bound):
+        problems.append("telemetry model lacks store()")
+    else:
+        problem = _callable_accepts(bound, 1)
+        if problem:
+            problems.append(f"store: {problem}")
+    return problems
+
+
 def _experiment_check(key: str, value: object) -> list[str]:
     from ...analysis.experiments import Experiment
 
@@ -271,11 +292,12 @@ def _experiment_check(key: str, value: object) -> list[str]:
 
 
 def default_registry_specs() -> list[RegistrySpec]:
-    """Specs for the four live registries of the engine."""
+    """Specs for the five live registries of the engine."""
     from ...analysis.experiments import EXPERIMENTS  # noqa: F401 - existence
     from ...network.backends import get_backend
     from ...network.capacity import get_allocator
     from ...network.faults import get_fault_model
+    from ...network.telemetry import get_telemetry
 
     return [
         RegistrySpec(
@@ -302,6 +324,14 @@ def default_registry_specs() -> list[RegistrySpec]:
             declared_name=lambda key, value: getattr(value, "name", None),
             accessor=get_fault_model,
             accessor_name="get_fault_model",
+        ),
+        RegistrySpec(
+            module="repro.network.telemetry",
+            attribute="TELEMETRY",
+            entry_check=_telemetry_check,
+            declared_name=lambda key, value: getattr(value, "name", None),
+            accessor=get_telemetry,
+            accessor_name="get_telemetry",
         ),
         RegistrySpec(
             module="repro.analysis.experiments",

@@ -12,6 +12,7 @@ from .dataclass_hygiene import DataclassHygieneRule
 from .determinism import DeterminismRule
 from .engine import ModuleRule, ProjectRule
 from .float_loops import FloatLoopRule
+from .perflow import PerFlowLoopRule
 from .picklability import PicklabilityRule
 from .shared_state import SharedStateRule
 
@@ -25,6 +26,7 @@ RULE_CATALOGUE: dict[str, str] = {
     "RPL003": SharedStateRule.description,
     "RPL004": FloatLoopRule.description,
     "RPL005": DataclassHygieneRule.description,
+    "RPL006": PerFlowLoopRule.description,
     "RPL099": "module could not be parsed",
     "RPL100": "registry entry fails to import or resolve",
     "RPL101": "registry entry does not satisfy its protocol",
@@ -39,6 +41,7 @@ def all_rules() -> "tuple[list[ModuleRule], list[ProjectRule]]":
         DeterminismRule(),
         FloatLoopRule(),
         DataclassHygieneRule(),
+        PerFlowLoopRule(),
     ]
     project_rules: list[ProjectRule] = [
         PicklabilityRule(),

@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 def lint_source(tmp_path: Path, source: str, name: str = "fixture.py") -> list[Finding]:
     """Write ``source`` under ``tmp_path`` and run every rule over it."""
     path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(textwrap.dedent(source), encoding="utf-8")
     module_rules, project_rules = all_rules()
     runner = LintRunner(
@@ -281,6 +282,75 @@ class TestFloatLoopRule:
                     rounds += 1
                 return rounds
             """,
+        )
+        assert findings == []
+
+
+class TestPerFlowLoopRule:
+    NETWORK = "src/repro/network/hot_path.py"
+
+    def test_for_loop_over_flows_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def tally(flows):
+                total = 0.0
+                for item in flows:
+                    total += item.demand_gbps
+                return total
+            """,
+            name=self.NETWORK,
+        )
+        assert codes(findings) == ["RPL006"]
+
+    def test_generator_sum_and_zip_wrapper_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def offered(candidate_flows, weights):
+                total = sum(item.demand_gbps for item in candidate_flows)
+                pairs = [w * f.demand_gbps for w, f in zip(weights, candidate_flows)]
+                return total, pairs
+            """,
+            name=self.NETWORK,
+        )
+        assert codes(findings) == ["RPL006", "RPL006"]
+
+    def test_loop_binding_flow_variable_flagged(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def latencies(routed):
+                return [flow.latency_ms for flow in routed]
+            """,
+            name=self.NETWORK,
+        )
+        assert codes(findings) == ["RPL006"]
+
+    def test_same_loops_outside_network_layer_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            def tally(flows):
+                return sum(item.demand_gbps for item in flows)
+            """,
+            name="src/repro/analysis/report.py",
+        )
+        assert findings == []
+
+    def test_whole_array_network_code_clean(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+
+            def tally(demand, reachable):
+                for attempt in range(3):
+                    routed = float(demand[reachable].sum())
+                return routed, float(np.count_nonzero(reachable))
+            """,
+            name=self.NETWORK,
         )
         assert findings == []
 
