@@ -123,11 +123,11 @@ def _run_comparison(smoke: bool):
     repetitions = 5 if smoke else 1
     begin = time.perf_counter()
     for _ in range(repetitions):
-        object_stats, object_telemetry = evaluate("objects")
+        object_stats, object_telemetry, _ = evaluate("objects")
     objects_s = (time.perf_counter() - begin) / repetitions
     begin = time.perf_counter()
     for _ in range(repetitions):
-        columnar_stats, columnar_telemetry = evaluate("columnar")
+        columnar_stats, columnar_telemetry, _ = evaluate("columnar")
     columnar_s = (time.perf_counter() - begin) / repetitions
 
     return {

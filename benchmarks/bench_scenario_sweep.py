@@ -163,7 +163,7 @@ def _seed_monolithic_run(simulator, scenario, start, duration_hours, step_hours)
         graph = _seed_graph_from_positions(
             simulator.topology, positions, simulator.ground_stations
         )
-        stats, _ = simulator._simulate_step(
+        stats, _, _ = simulator._simulate_step(
             SnapshotRouter(graph), graph, matrix, scenario, station_names, utc_hour
         )
         result.steps.append(stats)

@@ -7,8 +7,11 @@ and time-aware routing over pluggable backends (pure-python ``networkx`` or
 array-native ``csgraph``), capacity allocation, demand-aware scheduling, a
 staged scenario-sweep simulator driven by the gravity traffic model with
 thread- or process-pool parallelism and cross-product design/scenario grids,
-and a fault-injection subsystem (registered fault models compiling to
-vectorised per-step outage masks) with resilience metrics.
+a fault-injection subsystem (registered fault models compiling to
+vectorised per-step outage masks) with resilience metrics, and closed-loop
+congestion steering (registered policies feeding per-link utilisation back
+into routing weights with EWMA smoothing, hysteresis and anti-flap
+cooldowns).
 """
 
 from .backends import (
@@ -65,12 +68,26 @@ from .isl import (
 from .flows import FlowTable, RoutedFlowTable, route_flow_table, select_flow_table
 from .routing import RouteResult, SnapshotRouter, TimeAwareRouter
 from .scheduler import PeakShiftScheduler, ScheduleResult
+from .steering import (
+    STEERING_POLICIES,
+    CongestionAwareSteering,
+    LoadSpreadingSteering,
+    StaticSteering,
+    SteeringController,
+    SteeringPolicy,
+    UtilisationWeightedSteering,
+    get_steering_policy,
+    link_codes,
+    path_delays,
+    path_delays_from_rows,
+)
 from .telemetry import (
     TELEMETRY,
     AutoTelemetry,
     CountMinPairStore,
     ExactPairStore,
     ExactTelemetry,
+    LinkTelemetry,
     PairTelemetry,
     SketchTelemetry,
     TelemetryModel,
@@ -125,11 +142,23 @@ __all__ = [
     "CountMinPairStore",
     "ExactPairStore",
     "ExactTelemetry",
+    "LinkTelemetry",
     "PairTelemetry",
     "SketchTelemetry",
     "TelemetryModel",
     "get_telemetry",
     "merge_stores",
+    "STEERING_POLICIES",
+    "CongestionAwareSteering",
+    "LoadSpreadingSteering",
+    "StaticSteering",
+    "SteeringController",
+    "SteeringPolicy",
+    "UtilisationWeightedSteering",
+    "get_steering_policy",
+    "link_codes",
+    "path_delays",
+    "path_delays_from_rows",
     "FAULT_MODELS",
     "FaultContext",
     "FaultModel",

@@ -46,7 +46,7 @@ keys -- so they are drop-in scenario policies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -84,6 +84,12 @@ class FlowLinkSystem:
     link_ids: np.ndarray
     #: Normalised label-space key of every link, for :class:`AllocationResult`.
     link_keys: "tuple[tuple, ...] | None"
+    #: Edge-list row of every link (``None`` on the graph compile path):
+    #: ``link_rows[l]`` is the row of link ``l`` in the snapshot's
+    #: :class:`SnapshotEdgeList`, letting per-link outputs scatter straight
+    #: into link-index order for feedback consumers (congestion steering,
+    #: link telemetry) with no label round-trip.
+    link_rows: "np.ndarray | None" = field(default=None, compare=False)
 
     @property
     def flow_count(self) -> int:
@@ -118,6 +124,24 @@ class FlowLinkSystem:
             > 0
         )
 
+    def link_utilisation_array(
+        self, utilisation: np.ndarray, edge_count: int
+    ) -> np.ndarray:
+        """Scatter a per-system-link vector into edge-list link order.
+
+        Links no flow traverses read 0.0.  Requires the system to have been
+        compiled against a :class:`SnapshotEdgeList` (the index paths), which
+        is what records :attr:`link_rows`.
+        """
+        if self.link_rows is None:
+            raise ValueError(
+                "system was compiled through the graph interface and carries "
+                "no edge-list rows"
+            )
+        out = np.zeros(edge_count)
+        out[self.link_rows] = utilisation
+        return out
+
 
 def _missing_link_error(flows: list[Flow], flow_ids: np.ndarray, bad: np.ndarray):
     """Mirror the reference allocators' missing-link ValueError."""
@@ -143,6 +167,7 @@ class _EdgeListCompileCache:
         "labels",
         "sorted_codes",
         "sorted_capacity",
+        "sorted_rows",
         "numeric_prefix",
         "row_ordered",
     )
@@ -160,6 +185,9 @@ class _EdgeListCompileCache:
         order = np.argsort(codes)
         self.sorted_codes = codes[order]
         self.sorted_capacity = edge_list.capacity_gbps[order].astype(float)
+        #: Sorted position -> edge-list row, so compiled links can be mapped
+        #: back to link-index order (the steering feedback signal's layout).
+        self.sorted_rows = order
         numeric = np.fromiter(
             (
                 isinstance(label, (int, float)) and not isinstance(label, bool)
@@ -232,7 +260,7 @@ def _link_keys_of(cache: _EdgeListCompileCache, unique_codes: np.ndarray) -> tup
 
 def _compile_from_rows(
     cache: _EdgeListCompileCache, flows: list[Flow]
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple, np.ndarray]:
     """Index path: compile row-index flow paths against an edge list.
 
     Validation is deliberately cheap: row bounds plus each flow's *endpoint*
@@ -276,7 +304,13 @@ def _compile_from_rows(
     if not matched.all():
         raise _missing_link_error(flows, flow_ids, ~matched[link_ids])
     capacity = cache.sorted_capacity[positions]
-    return flow_ids, link_ids, capacity, _link_keys_of(cache, unique_codes)
+    return (
+        flow_ids,
+        link_ids,
+        capacity,
+        _link_keys_of(cache, unique_codes),
+        cache.sorted_rows[positions],
+    )
 
 
 def _compile_from_graph(
@@ -326,10 +360,11 @@ def compile_flow_link_system(capacity_graph, flows: list[Flow]) -> FlowLinkSyste
         raise ValueError("array allocators require unique flow names")
     demand = np.array([flow.demand_gbps for flow in flows], dtype=float)
     edge_list = getattr(capacity_graph, "edge_list", None)
+    link_rows = None
     if isinstance(edge_list, SnapshotEdgeList) and all(
         flow.path_rows is not None for flow in flows
     ):
-        flow_ids, link_ids, capacity, link_keys = _compile_from_rows(
+        flow_ids, link_ids, capacity, link_keys, link_rows = _compile_from_rows(
             _compile_cache(capacity_graph, edge_list), flows
         )
     else:
@@ -343,6 +378,7 @@ def compile_flow_link_system(capacity_graph, flows: list[Flow]) -> FlowLinkSyste
         flow_ids=flow_ids,
         link_ids=link_ids,
         link_keys=link_keys,
+        link_rows=link_rows,
     )
 
 
@@ -404,6 +440,7 @@ def compile_system_from_rows(
         flow_ids=np.repeat(np.arange(demand.size, dtype=np.intp), counts),
         link_ids=link_ids,
         link_keys=_link_keys_of(cache, unique_codes) if with_keys else None,
+        link_rows=cache.sorted_rows[positions],
     )
 
 

@@ -56,6 +56,7 @@ __all__ = [
     "CSGraphBackend",
     "BACKENDS",
     "get_backend",
+    "bulk_path_rows_many",
     "edge_arrays_from_graph",
     "graph_from_edge_arrays",
 ]
@@ -304,37 +305,9 @@ class _PredecessorRoutes(Mapping):
         Python-level work is O(longest path), not O(total rows).
         """
         dest_rows = np.asarray(dest_rows, dtype=np.intp)
-        count = dest_rows.size
-        latency = np.full(count, np.inf)
-        lengths = np.zeros(count, dtype=np.intp)
-        known = dest_rows >= 0
-        safe_rows = np.where(known, dest_rows, 0)
-        reachable = known & np.isfinite(self._distances[safe_rows])
-        latency[reachable] = self._distances[safe_rows[reachable]]
-        # Walk predecessors for all reachable destinations at once, recording
-        # each layer; depth[i] counts hops from destination i to the source.
-        cursor = safe_rows.copy()
-        depth = np.zeros(count, dtype=np.intp)
-        pending = reachable.copy()
-        layers: list[tuple[np.ndarray, np.ndarray]] = []
-        while True:
-            pending = pending & (cursor != self._source_row)
-            if not pending.any():
-                break
-            layers.append((np.flatnonzero(pending), cursor[pending].copy()))
-            depth[pending] += 1
-            cursor[pending] = self._predecessors[cursor[pending]]
-        lengths[reachable] = depth[reachable] + 1
-        offsets = np.zeros(count + 1, dtype=np.intp)
-        np.cumsum(lengths, out=offsets[1:])
-        buffer = np.empty(int(offsets[-1]), dtype=np.intp)
-        # The source sits at each segment's start; the layer recorded at walk
-        # step k holds the node depth[i]-k hops along path i, i.e. position
-        # offsets[i] + depth[i] - k (destination itself at k=0).
-        buffer[offsets[:-1][reachable]] = self._source_row
-        for step, (where, nodes) in enumerate(layers):
-            buffer[offsets[:-1][where] + depth[where] - step] = nodes
-        return offsets, buffer, latency
+        return bulk_path_rows_many(
+            [self], np.zeros(dest_rows.size, dtype=np.intp), dest_rows
+        )
 
     def _reconstruct(self, row: int) -> RouteResult:
         path_rows = [row]
@@ -367,6 +340,68 @@ class _PredecessorRoutes(Mapping):
 
     def __len__(self) -> int:
         return len(self._reachable)
+
+
+def bulk_path_rows_many(
+    tables: Sequence, group_of: np.ndarray, dest_rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One layer walk over many sources' predecessor rows at once.
+
+    ``tables`` are per-source route tables solved on the *same* snapshot
+    (the :class:`_PredecessorRoutes` the csgraph backend hands out); query
+    ``i`` walks table ``tables[group_of[i]]`` toward row ``dest_rows[i]``.
+    Negative ``group_of`` or ``dest_rows`` entries mark unknown sources or
+    destinations and yield an empty segment with ``inf`` latency, exactly
+    like :meth:`_PredecessorRoutes.bulk_path_rows`.
+
+    Returns ``(offsets, rows_buffer, latency_ms)`` in query order: path
+    ``i`` occupies ``rows_buffer[offsets[i]:offsets[i + 1]]`` (source
+    first, destination last).  Stacking every source's distance and
+    predecessor rows into one ``(sources, nodes)`` matrix lets a single
+    layer-by-layer walk advance *all* queries one hop per iteration, so
+    the Python-level work is O(longest path) across the whole batch
+    instead of O(sources) separate walks.
+    """
+    group_of = np.asarray(group_of, dtype=np.intp)
+    dest_rows = np.asarray(dest_rows, dtype=np.intp)
+    count = dest_rows.size
+    latency = np.full(count, np.inf)
+    lengths = np.zeros(count, dtype=np.intp)
+    if not tables:
+        return np.zeros(count + 1, dtype=np.intp), np.empty(0, dtype=np.intp), latency
+    distances = np.stack([table._distances for table in tables])
+    predecessors = np.stack([table._predecessors for table in tables])
+    source_rows = np.array([table._source_row for table in tables], dtype=np.intp)
+    known = (group_of >= 0) & (dest_rows >= 0)
+    safe_group = np.where(known, group_of, 0)
+    safe_rows = np.where(known, dest_rows, 0)
+    reachable = known & np.isfinite(distances[safe_group, safe_rows])
+    latency[reachable] = distances[safe_group[reachable], safe_rows[reachable]]
+    # Walk predecessors for all reachable queries at once, recording each
+    # layer; depth[i] counts hops from destination i back to its source.
+    source_of = source_rows[safe_group]
+    cursor = safe_rows.copy()
+    depth = np.zeros(count, dtype=np.intp)
+    pending = reachable.copy()
+    layers: list[tuple[np.ndarray, np.ndarray]] = []
+    while True:
+        pending = pending & (cursor != source_of)
+        if not pending.any():
+            break
+        layers.append((np.flatnonzero(pending), cursor[pending].copy()))
+        depth[pending] += 1
+        cursor[pending] = predecessors[safe_group[pending], cursor[pending]]
+    lengths[reachable] = depth[reachable] + 1
+    offsets = np.zeros(count + 1, dtype=np.intp)
+    np.cumsum(lengths, out=offsets[1:])
+    buffer = np.empty(int(offsets[-1]), dtype=np.intp)
+    # Each source sits at its segment's start; the layer recorded at walk
+    # step k holds the node depth[i]-k hops along path i, i.e. position
+    # offsets[i] + depth[i] - k (destination itself at k=0).
+    buffer[offsets[:-1][reachable]] = source_of[reachable]
+    for step, (where, nodes) in enumerate(layers):
+        buffer[offsets[:-1][where] + depth[where] - step] = nodes
+    return offsets, buffer, latency
 
 
 class RoutingBackend(ABC):

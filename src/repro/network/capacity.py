@@ -108,6 +108,45 @@ class AllocationResult:
             return 0.0
         return max(self.link_utilisation.values())
 
+    def link_utilisation_array(self, edge_list) -> np.ndarray:
+        """Export per-link utilisation in the edge list's link-index order.
+
+        The dict-path counterpart of
+        :meth:`repro.network.alloc_arrays.FlowLinkSystem.link_utilisation_array`:
+        the label-keyed ``link_utilisation`` dict is mapped onto the
+        ``(E,)`` layout feedback consumers (congestion steering, link
+        telemetry) share, with untouched links at 0.0.  ``edge_list`` is
+        duck-typed (``labels`` / ``a`` / ``b`` / ``node_index``); links
+        whose endpoints are absent from the snapshot are skipped.  The loop
+        runs over the *links the allocation touched*, never over flows.
+        """
+        a, b = edge_list.a, edge_list.b
+        node_count = len(edge_list.labels)
+        out = np.zeros(len(a))
+        if not self.link_utilisation:
+            return out
+        codes = np.minimum(a, b) * node_count + np.maximum(a, b)
+        order = np.argsort(codes)
+        sorted_codes = codes[order]
+        index_of = edge_list.node_index.index_of
+        used: list[int] = []
+        values: list[float] = []
+        for (u, v), value in self.link_utilisation.items():
+            row_u = index_of(u)
+            row_v = index_of(v)
+            if row_u is None or row_v is None:
+                continue
+            lo, hi = (row_u, row_v) if row_u <= row_v else (row_v, row_u)
+            used.append(lo * node_count + hi)
+            values.append(value)
+        if not used:
+            return out
+        positions = np.searchsorted(sorted_codes, np.asarray(used))
+        positions = np.minimum(positions, sorted_codes.size - 1)
+        present = sorted_codes[positions] == np.asarray(used)
+        out[order[positions[present]]] = np.asarray(values)[present]
+        return out
+
 
 def _node_order_key(node) -> tuple:
     """Total order over mixed node labels: numbers first, then strings.

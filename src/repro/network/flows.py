@@ -15,10 +15,11 @@ columnar end-to-end:
   :func:`np.lexsort` tie-break ordering identical to the object path's
   ``(-demand, src, dst)`` sort;
 * :func:`route_flow_table` -- stage 3 as gather ops: one batched
-  multi-source search, then each source's predecessor row exported for all
-  of its destinations at once
-  (:meth:`~repro.network.backends._PredecessorRoutes.bulk_path_rows`) into
-  one ragged ``(offsets, rows)`` path buffer;
+  multi-source search, then *every* source's predecessor rows stacked into
+  one (sources x nodes) matrix and walked in a single batched layer walk
+  (:func:`~repro.network.backends.bulk_path_rows_many`) straight into one
+  ragged ``(offsets, rows)`` path buffer in table order -- no per-source
+  loop, no scatter pass;
 * :meth:`RoutedFlowTable.compact` -- stage 4 input: the reachable slice of
   the ragged paths feeds
   :func:`repro.network.alloc_arrays.compile_system_from_rows` directly,
@@ -39,6 +40,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..demand.traffic_matrix import TrafficMatrix
+from .backends import bulk_path_rows_many
 
 __all__ = ["FlowTable", "RoutedFlowTable", "select_flow_table", "route_flow_table"]
 
@@ -164,21 +166,22 @@ def select_flow_table(
 def route_flow_table(
     router, table: FlowTable, route_cache=None
 ) -> "RoutedFlowTable | None":
-    """Columnar stage 3: route every flow via bulk predecessor exports.
+    """Columnar stage 3: route every flow via one batched predecessor walk.
 
     One batched ``routes_from_many`` call covers all distinct sources (served
     through ``route_cache`` when the sweep shares one, so object and columnar
-    scenarios on the same snapshot share the same search); each source's
-    routing table then exports the paths of *all* of its destinations in one
-    vectorised predecessor walk.  Returns ``None`` when a routing table
-    cannot export bulk paths (graph-view backends) -- the caller falls back
-    to the reference stages.  Sources absent from the snapshot yield
-    unreachable flows, exactly like the object path's empty tables.
+    scenarios on the same snapshot share the same search); all sources'
+    predecessor rows are then stacked and walked together by
+    :func:`~repro.network.backends.bulk_path_rows_many`, whose output is
+    already in table order -- one walk for the whole step instead of one per
+    source.  Returns ``None`` when a routing table cannot export bulk paths
+    (graph-view backends) -- the caller falls back to the reference stages.
+    Sources absent from the snapshot yield unreachable flows, exactly like
+    the object path's empty tables.
     """
     names = table.station_names
     count = table.flow_count
     latency = np.full(count, np.inf)
-    lengths = np.zeros(count, dtype=np.intp)
     if count == 0:
         return RoutedFlowTable(
             table=table,
@@ -187,7 +190,7 @@ def route_flow_table(
             path_offsets=np.zeros(1, dtype=np.intp),
             path_rows=np.empty(0, dtype=np.intp),
         )
-    unique_src, src_counts = np.unique(table.src, return_counts=True)
+    unique_src, inverse = np.unique(table.src, return_inverse=True)
     sources = [f"gs:{names[src]}" for src in unique_src.tolist()]
     if route_cache is not None:
         tables = route_cache.routes_from_many(router, sources)
@@ -202,19 +205,17 @@ def route_flow_table(
             exporters.append(None)  # unknown source: every flow unreachable
         else:
             return None  # graph-view table: no bulk export, use the fallback
-    node_index = next(
-        (routes.node_index for routes in exporters if routes is not None), None
-    )
-    if node_index is None:
+    stacked = [routes for routes in exporters if routes is not None]
+    if not stacked:
         # No source is even in the snapshot: nothing is reachable.
-        offsets = np.zeros(count + 1, dtype=np.intp)
         return RoutedFlowTable(
             table=table,
             reachable=np.zeros(count, dtype=bool),
             latency_ms=latency,
-            path_offsets=offsets,
+            path_offsets=np.zeros(count + 1, dtype=np.intp),
             path_rows=np.empty(0, dtype=np.intp),
         )
+    node_index = stacked[0].node_index
     station_rows = np.array(
         [
             -1 if (row := node_index.index_of(f"gs:{name}")) is None else row
@@ -222,37 +223,15 @@ def route_flow_table(
         ],
         dtype=np.intp,
     )
-    # Group flows by source: a stable argsort of src ids yields each group's
-    # row indices in table order, one contiguous slice per unique source.
-    order = np.argsort(table.src, kind="stable")
-    group_ends = np.cumsum(src_counts)
-    segments = []
-    for group, routes in enumerate(exporters):
-        if routes is None:
-            continue
-        flows_of = order[group_ends[group] - src_counts[group] : group_ends[group]]
-        offsets, buffer, latencies = routes.bulk_path_rows(
-            station_rows[table.dst[flows_of]]
-        )
-        latency[flows_of] = latencies
-        lengths[flows_of] = np.diff(offsets)
-        segments.append((flows_of, offsets, buffer))
-    path_offsets = np.zeros(count + 1, dtype=np.intp)
-    np.cumsum(lengths, out=path_offsets[1:])
-    path_rows = np.empty(int(path_offsets[-1]), dtype=np.intp)
-    for flows_of, offsets, buffer in segments:
-        if not buffer.size:
-            continue
-        # Scatter each local segment to its global position with the ragged
-        # arange trick: global start per element minus local start plus the
-        # running local position.
-        reps = np.diff(offsets)
-        positions = (
-            np.repeat(path_offsets[:-1][flows_of], reps)
-            + np.arange(buffer.size)
-            - np.repeat(offsets[:-1], reps)
-        )
-        path_rows[positions] = buffer
+    # Per-flow row into the stacked tables (-1 marks an unknown source, which
+    # bulk_path_rows_many resolves to an unreachable empty segment).
+    remap = np.full(len(exporters), -1, dtype=np.intp)
+    present = [group for group, routes in enumerate(exporters) if routes is not None]
+    remap[present] = np.arange(len(stacked))
+    group_of = remap[np.asarray(inverse, dtype=np.intp).reshape(count)]
+    path_offsets, path_rows, latency = bulk_path_rows_many(
+        stacked, group_of, station_rows[table.dst]
+    )
     return RoutedFlowTable(
         table=table,
         reachable=np.isfinite(latency),

@@ -82,7 +82,13 @@ from .faults import FaultContext, FaultSchedule, FaultSpec, compile_faults, norm
 from .flows import FlowTable, route_flow_table, select_flow_table
 from .ground_station import GroundStation
 from .routing import SnapshotRouter
-from .telemetry import PairTelemetry, get_telemetry
+from .steering import (
+    get_steering_policy,
+    link_codes,
+    path_delays,
+    path_delays_from_rows,
+)
+from .telemetry import LinkTelemetry, PairTelemetry, get_telemetry
 from .topology import ConstellationTopology, MultiShellTopology
 
 __all__ = [
@@ -136,6 +142,14 @@ class Scenario:
         ``"sketch"``, ``"auto"``); enables per-step top-pair summaries on
         :class:`StepStatistics` and a mergeable per-run aggregate on
         :class:`SimulationResult`.  ``None`` collects nothing.
+    steering:
+        Congestion-steering policy name, looked up in
+        :data:`repro.network.steering.STEERING_POLICIES`; adaptive policies
+        feed each step's per-link utilisation back into the next step's
+        routing weights.  ``None`` defers to the sweep-level default of
+        :meth:`NetworkSimulator.run_scenarios`; ``"static"`` pins the
+        scenario to open-loop routing (bit-identical to no steering)
+        regardless of the sweep default.
     """
 
     name: str
@@ -147,6 +161,7 @@ class Scenario:
     faults: "tuple[FaultSpec, ...] | None" = None
     flow_engine: str | None = None
     telemetry: str | None = None
+    steering: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -174,6 +189,8 @@ class Scenario:
             )
         if self.telemetry is not None:
             get_telemetry(self.telemetry)  # validate the model name early
+        if self.steering is not None:
+            get_steering_policy(self.steering)  # validate the policy name early
         object.__setattr__(self, "faults", normalise_fault_specs(self.faults))
 
 
@@ -192,8 +209,10 @@ class StepStatistics:
     reachable_fraction: float
     mean_latency_ms: float
     worst_link_utilisation: float
-    #: Offered demand [Gbps] that could not be routed at all (disconnected
-    #: endpoints) -- the paper-relevant "stranded demand" under outages.
+    #: Offered demand [Gbps] that went unserved: flows that could not be
+    #: routed at all (disconnected endpoints) plus routed flows whose
+    #: allocation came back exactly zero (paths through zero-capacity
+    #: links) -- the paper-relevant "stranded demand" under outages.
     stranded_gbps: float = 0.0
     #: Fraction of satellites up at this step (1.0 on the healthy network).
     satellites_up_fraction: float = 1.0
@@ -202,6 +221,13 @@ class StepStatistics:
     #: Largest (source, destination, offered Gbps) station pairs of the step,
     #: from the scenario's telemetry model; empty when telemetry is off.
     top_pairs: tuple[tuple[str, str, float], ...] = ()
+    #: Links whose steering engagement flipped when this step's utilisation
+    #: feedback was folded in (0 without an adaptive steering policy).
+    steering_reroutes: int = 0
+    #: Highest EWMA-smoothed link utilisation after this step's update.
+    steering_max_utilisation: float = 0.0
+    #: Engagement flips suppressed by the steering anti-flap cooldown.
+    steering_flaps: int = 0
 
     @property
     def delivery_ratio(self) -> float:
@@ -220,6 +246,25 @@ class SimulationResult:
     #: merged in step order -- including across process workers), present
     #: only when the scenario enabled a telemetry model.
     telemetry: PairTelemetry | None = None
+    #: Whole-run per-link utilisation aggregate (per-step utilisation summed
+    #: across steps -- "sustained heat"), sharing the steering feedback's
+    #: signal; present only when the scenario enabled a telemetry model
+    #: *and* the pipeline had the edge-list utilisation export available
+    #: (array-native backend or adaptive steering).
+    link_telemetry: LinkTelemetry | None = None
+
+    def sustained_hot_links(
+        self, count: int = 5
+    ) -> tuple[tuple[object, object, float], ...]:
+        """Largest ``count`` (node_a, node_b, summed utilisation) links.
+
+        The run-level congestion ranking: per-step utilisation summed over
+        every step, so a link at 0.9 for the whole run outranks one that
+        spiked to 1.0 once.  Empty without link telemetry.
+        """
+        if self.link_telemetry is None:
+            return ()
+        return self.link_telemetry.top_links(count)
 
     def _require_steps(self) -> None:
         if not self.steps:
@@ -438,6 +483,8 @@ class _RoutedFlows(NamedTuple):
     offered: float
     #: Total demand of the candidates that found a route [Gbps].
     routed: float
+    #: Per-routed-flow demand [Gbps], in ``flows`` order.
+    demands: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -458,6 +505,9 @@ class _WorkerScenario:
     satellites_up: tuple[float, ...] | None = None
     stations_up: tuple[float, ...] | None = None
     flow_engine: str = "objects"
+    #: Resolved *adaptive* steering policy name (``None`` means open loop:
+    #: static and absent policies are normalised away by the driver).
+    steering: str | None = None
 
 
 def _sweep_process_worker(
@@ -465,7 +515,7 @@ def _sweep_process_worker(
     edge_lists: dict[int, list[SnapshotEdgeList]],
     utc_hours: list[float],
     traffic_model: GravityTrafficModel,
-) -> "dict[str, tuple[list[StepStatistics], PairTelemetry | None]]":
+) -> "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None]]":
     """Evaluate a slice of a sweep's scenarios over shipped edge arrays.
 
     Module-level so it pickles under every multiprocessing start method.
@@ -475,7 +525,10 @@ def _sweep_process_worker(
     ``edge_lists`` is keyed by snapshot group (station subset plus fault
     schedule); masked groups ship already-degraded arrays.  Per-step
     telemetry is merged worker-side in step order (stores are plain numpy
-    state, so the merged aggregate pickles back cheaply).
+    state, so the merged aggregate pickles back cheaply).  Adaptive
+    steering controllers are created here and replay every step in order,
+    so feedback state -- and therefore results -- are bit-identical to the
+    serial path.
     """
     matrix_cache = _TrafficMatrixCache(traffic_model)
     steps: dict[str, list[StepStatistics]] = {
@@ -484,14 +537,26 @@ def _sweep_process_worker(
     aggregates: "dict[str, PairTelemetry | None]" = {
         spec.scenario.name: None for spec in specs
     }
+    link_aggregates: "dict[str, LinkTelemetry | None]" = {
+        spec.scenario.name: None for spec in specs
+    }
+    controllers = {
+        spec.scenario.name: get_steering_policy(spec.steering).controller()
+        for spec in specs
+        if spec.steering is not None
+    }
     for step, utc_hour in enumerate(utc_hours):
         matrix = matrix_cache.matrix_at(utc_hour)
         routers: dict = {}
         caches: dict = {}
         views: dict = {}
         for spec in specs:
+            controller = controllers.get(spec.scenario.name)
             key = (spec.group_index, spec.backend)
-            if key not in routers:
+            # Adaptive scenarios route on private steered snapshots, so the
+            # shared (and shared-cache) router is only built for open-loop
+            # consumers of this (group, backend).
+            if controller is None and key not in routers:
                 edges = edge_lists[spec.group_index][step]
                 backend = get_backend(spec.backend)
                 if backend.uses_arrays:
@@ -503,15 +568,15 @@ def _sweep_process_worker(
                 views[spec.group_index] = _EdgeListCapacityView(
                     edge_lists[spec.group_index][step]
                 )
-            stats, step_telemetry = NetworkSimulator._evaluate_scenario_step(
-                routers[key],
+            stats, step_telemetry, step_links = NetworkSimulator._evaluate_scenario_step(
+                routers.get(key),
                 views[spec.group_index],
                 matrix,
                 spec.scenario,
                 spec.station_names,
                 spec.flows_per_step,
                 utc_hour,
-                route_cache=caches[key],
+                route_cache=caches.get(key),
                 satellites_up_fraction=(
                     spec.satellites_up[step] if spec.satellites_up else 1.0
                 ),
@@ -519,6 +584,8 @@ def _sweep_process_worker(
                     spec.stations_up[step] if spec.stations_up else 1.0
                 ),
                 flow_engine=spec.flow_engine,
+                steering_controller=controller,
+                backend=get_backend(spec.backend),
             )
             name = spec.scenario.name
             steps[name].append(stats)
@@ -527,7 +594,15 @@ def _sweep_process_worker(
                     aggregates[name] = step_telemetry
                 else:
                     aggregates[name].merge(step_telemetry)
-    return {name: (steps[name], aggregates[name]) for name in steps}
+            if step_links is not None:
+                if link_aggregates[name] is None:
+                    link_aggregates[name] = step_links
+                else:
+                    link_aggregates[name].merge(step_links)
+    return {
+        name: (steps[name], aggregates[name], link_aggregates[name])
+        for name in steps
+    }
 
 
 @dataclass
@@ -564,6 +639,7 @@ class NetworkSimulator:
         allocator: str = "proportional",
         backend: "str | RoutingBackend" = "networkx",
         flow_engine: str = "objects",
+        steering: str | None = None,
     ) -> SimulationResult:
         """Run a single default scenario and return per-step statistics.
 
@@ -578,6 +654,7 @@ class NetworkSimulator:
             step_hours,
             backend=backend,
             flow_engine=flow_engine,
+            steering=steering,
         )["run"]
 
     def run_scenarios(
@@ -590,6 +667,7 @@ class NetworkSimulator:
         backend: "str | RoutingBackend" = "networkx",
         executor: str = "thread",
         flow_engine: str = "objects",
+        steering: str | None = None,
     ) -> dict[str, SimulationResult]:
         """Run every scenario over one shared snapshot sequence.
 
@@ -624,6 +702,17 @@ class NetworkSimulator:
         (``"objects"`` or ``"columnar"``, see :attr:`Scenario.flow_engine`
         for the per-scenario override); both engines produce identical
         statistics, the columnar one without per-flow Python.
+
+        ``steering`` selects the sweep's default congestion-steering policy
+        by registry name (:data:`repro.network.steering.STEERING_POLICIES`;
+        per-scenario override via :attr:`Scenario.steering`).  Adaptive
+        policies close the control loop: each scenario carries one
+        :class:`~repro.network.steering.SteeringController` across the run,
+        the allocation stage exports per-link utilisation, and the next
+        step routes on feedback-steered weights.  Reported latencies are
+        always true (unsteered) path delays, and ``"static"`` / ``None``
+        bypass the controller machinery entirely, so open-loop results are
+        bit-identical to pre-steering builds.
         """
         if duration_hours <= 0 or step_hours <= 0:
             raise ValueError("duration_hours and step_hours must be positive")
@@ -635,6 +724,8 @@ class NetworkSimulator:
             raise ValueError(
                 f"flow_engine must be 'objects' or 'columnar', got {flow_engine!r}"
             )
+        if steering is not None:
+            get_steering_policy(steering)  # validate the sweep default early
         scenarios = list(scenarios)
         if not scenarios:
             raise ValueError("at least one scenario is required")
@@ -651,6 +742,20 @@ class NetworkSimulator:
             )
             for scenario in scenarios
         }
+        # Resolve each scenario's steering policy once; non-adaptive
+        # policies ("static", the open-loop identity) normalise to None so
+        # every open-loop scenario takes the pre-steering fast path verbatim.
+        steering_of = {}
+        for scenario in scenarios:
+            policy_name = (
+                scenario.steering if scenario.steering is not None else steering
+            )
+            policy = (
+                get_steering_policy(policy_name) if policy_name is not None else None
+            )
+            steering_of[scenario.name] = (
+                policy if policy is not None and policy.adaptive else None
+            )
         station_subsets = {
             scenario.name: self._station_subset(scenario) for scenario in scenarios
         }
@@ -701,6 +806,7 @@ class NetworkSimulator:
                 utc_hours,
                 max_workers,
                 flow_engine,
+                steering_of,
             )
 
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
@@ -725,6 +831,9 @@ class NetworkSimulator:
         # (bit-identical to graph allocation -- the process workers have
         # always done exactly this), so groups whose every scenario routes
         # array-natively skip per-step nx.Graph maintenance entirely.
+        # Adaptive-steering scenarios never consume the shared graph either:
+        # they route on private steered snapshots derived from the edge-list
+        # export, whatever their backend.
         streams = {
             group: sequence.graphs(
                 copy=False,
@@ -735,15 +844,18 @@ class NetworkSimulator:
                 groups[scenario.name]
                 for scenario in scenarios
                 if not effective_backends[scenario.name].uses_arrays
+                and steering_of[scenario.name] is None
             }
         }
         # Snapshot groups whose scenarios route on an array-native backend
-        # get the per-step edge-list export (masked the same way), serving
-        # both the CSR routing view and the allocation capacity view.
+        # -- or steer adaptively, which needs the edge list for the feedback
+        # loop -- get the per-step edge-list export (masked the same way),
+        # serving the CSR routing view and the allocation capacity view.
         arrays_needed = {
             groups[scenario.name]
             for scenario in scenarios
             if effective_backends[scenario.name].uses_arrays
+            or steering_of[scenario.name] is not None
         }
         # One route cache per (snapshot group, backend) for the whole sweep,
         # reset at every step: route tables never outlive their snapshot --
@@ -757,6 +869,15 @@ class NetworkSimulator:
             for scenario in scenarios
         }
         route_caches = {key: _SharedRouteCache() for key in set(router_keys.values())}
+        # One controller per adaptive scenario for the whole run: steering
+        # state is the control loop's cross-step memory.  Thread-safe as
+        # used: each step issues exactly one task per scenario and steps are
+        # sequential, so a controller is never driven concurrently.
+        controllers = {
+            name: policy.controller()
+            for name, policy in steering_of.items()
+            if policy is not None
+        }
 
         results = {name: SimulationResult() for name in names}
         pool = (
@@ -788,6 +909,11 @@ class NetworkSimulator:
                 }
                 routers: dict = {}
                 for scenario in scenarios:
+                    # Adaptive scenarios route on private steered snapshots
+                    # built inside the step evaluation; only open-loop
+                    # consumers share a (group, backend) router.
+                    if controllers.get(scenario.name) is not None:
+                        continue
                     key = router_keys[scenario.name]
                     if key not in routers:
                         group = key[:2]
@@ -801,22 +927,28 @@ class NetworkSimulator:
 
                 def _evaluate(
                     scenario: Scenario,
-                ) -> "tuple[StepStatistics, PairTelemetry | None]":
+                ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
                     key = router_keys[scenario.name]
                     group = key[:2]
+                    controller = controllers.get(scenario.name)
                     schedule = schedules[
                         (station_subsets[scenario.name], scenario.faults)
                     ]
                     return self._simulate_step(
-                        routers[key],
+                        routers.get(key),
                         step_views[group]
                         if effective_backends[scenario.name].uses_arrays
+                        or controller is not None
                         else step_graphs[group],
                         matrix,
                         scenario,
                         station_subsets[scenario.name],
                         utc_hour,
-                        route_cache=route_caches[key],
+                        # Steered routes depend on per-scenario feedback
+                        # state, so adaptive scenarios never share tables.
+                        route_cache=(
+                            None if controller is not None else route_caches[key]
+                        ),
                         satellites_up_fraction=(
                             schedule.satellites_up_fraction(index)
                             if schedule is not None
@@ -830,13 +962,17 @@ class NetworkSimulator:
                             else 1.0
                         ),
                         flow_engine=flow_engine,
+                        steering_controller=controller,
+                        backend=effective_backends[scenario.name],
                     )
 
                 if pool is not None:
                     step_stats = list(pool.map(_evaluate, scenarios))
                 else:
                     step_stats = [_evaluate(scenario) for scenario in scenarios]
-                for scenario, (stats, step_telemetry) in zip(scenarios, step_stats):
+                for scenario, (stats, step_telemetry, step_links) in zip(
+                    scenarios, step_stats
+                ):
                     result = results[scenario.name]
                     result.steps.append(stats)
                     if step_telemetry is not None:
@@ -844,6 +980,11 @@ class NetworkSimulator:
                             result.telemetry = step_telemetry
                         else:
                             result.telemetry.merge(step_telemetry)
+                    if step_links is not None:
+                        if result.link_telemetry is None:
+                            result.link_telemetry = step_links
+                        else:
+                            result.link_telemetry.merge(step_links)
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -859,6 +1000,7 @@ class NetworkSimulator:
         utc_hours: list[float],
         max_workers: int,
         flow_engine: str = "objects",
+        steering_of: "dict | None" = None,
     ) -> dict[str, SimulationResult]:
         """Fan a sweep out to worker processes over picklable edge arrays.
 
@@ -884,6 +1026,8 @@ class NetworkSimulator:
                     "backends"
                 )
         steps = len(utc_hours)
+        if steering_of is None:
+            steering_of = {scenario.name: None for scenario in scenarios}
         group_indices: dict[tuple, int] = {}
         payloads: dict[int, list[SnapshotEdgeList]] = {}
         specs = []
@@ -924,10 +1068,15 @@ class NetworkSimulator:
                         else None
                     ),
                     flow_engine=flow_engine,
+                    steering=(
+                        steering_of[scenario.name].name
+                        if steering_of[scenario.name] is not None
+                        else None
+                    ),
                 )
             )
         chunks = [chunk for chunk in (specs[i::max_workers] for i in range(max_workers)) if chunk]
-        merged: "dict[str, tuple[list[StepStatistics], PairTelemetry | None]]" = {}
+        merged: "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None]]" = {}
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             futures = [
                 pool.submit(
@@ -948,6 +1097,7 @@ class NetworkSimulator:
             scenario.name: SimulationResult(
                 steps=merged[scenario.name][0],
                 telemetry=merged[scenario.name][1],
+                link_telemetry=merged[scenario.name][2],
             )
             for scenario in scenarios
         }
@@ -1047,6 +1197,7 @@ class NetworkSimulator:
             latencies=latencies,
             offered=float(demands.sum()),
             routed=float(demands[routed_mask].sum()),
+            demands=demands[routed_mask],
         )
 
     @staticmethod
@@ -1082,8 +1233,109 @@ class NetworkSimulator:
         return telemetry
 
     @staticmethod
+    def _step_link_telemetry(
+        scenario: Scenario,
+        edge_list: SnapshotEdgeList,
+        utilisation: np.ndarray,
+    ) -> LinkTelemetry:
+        """Stage 5b: fold one step's per-link utilisation into telemetry.
+
+        Consumes the same link-index-order utilisation export the steering
+        feedback runs on -- one signal, two consumers.  Only loaded links
+        are observed, so the store tracks the hot set, and summed-over-steps
+        values rank links by *sustained* heat.
+        """
+        model = get_telemetry(scenario.telemetry)
+        hot = utilisation > 0.0
+        telemetry = LinkTelemetry(
+            labels=edge_list.labels,
+            store=model.store(int(np.count_nonzero(hot))),
+        )
+        telemetry.observe_links(link_codes(edge_list)[hot], utilisation[hot])
+        return telemetry
+
+    @staticmethod
+    def _finish_object_step(
+        capacity_graph,
+        scenario: Scenario,
+        candidate_count: int,
+        routed: "_RoutedFlows",
+        utc_hour: float,
+        satellites_up_fraction: float,
+        stations_up_fraction: float,
+        telemetry: "PairTelemetry | None",
+        steering_controller,
+        edge_list,
+        uses_arrays: bool,
+    ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
+        """Stages 4-5 of the object engine: allocate, close the loop, fold.
+
+        Shared by the object engine and the columnar engine's reference
+        fallback, so both close the steering control loop and export link
+        signals identically.  Link telemetry needs the edge-list utilisation
+        export, which exists exactly when the scenario allocates over a
+        capacity view (array-native backend) or steers adaptively -- the
+        condition is backend/steering-based, never executor-based, so a
+        scenario collects the same telemetry under every executor.
+        """
+        allocation = NetworkSimulator._allocate(
+            capacity_graph, routed.flows, scenario.allocator
+        )
+        starved = 0.0
+        if allocation is not None:
+            # Dict insertion order is routed-flow order for every in-repo
+            # allocator, so this is the per-flow rate vector.
+            rates = np.fromiter(
+                allocation.allocated_gbps.values(),
+                dtype=float,
+                count=len(allocation.allocated_gbps),
+            )
+            starved = float(routed.demands[rates == 0.0].sum())
+        latencies = routed.latencies
+        steering_stats = None
+        link_telemetry = None
+        collect_links = (
+            scenario.telemetry is not None
+            and edge_list is not None
+            and (uses_arrays or steering_controller is not None)
+        )
+        if steering_controller is not None or collect_links:
+            utilisation = (
+                allocation.link_utilisation_array(edge_list)
+                if allocation is not None
+                else np.zeros(len(edge_list.a))
+            )
+            if steering_controller is not None:
+                # Routing ran on steered weights, which are preferences,
+                # not times: re-read true latencies from the snapshot.
+                paths = [flow.path for flow in routed.flows]  # repro-lint: ignore[RPL006]
+                latencies = path_delays(edge_list, paths)
+                steering_controller.observe(edge_list, utilisation)
+                steering_stats = steering_controller.step_stats()
+            if collect_links:
+                link_telemetry = NetworkSimulator._step_link_telemetry(
+                    scenario, edge_list, utilisation
+                )
+        stats = NetworkSimulator._step_statistics(
+            scenario,
+            utc_hour,
+            candidate_count=candidate_count,
+            routed_count=len(routed.flows),
+            offered=routed.offered,
+            routed_gbps=routed.routed,
+            latencies=latencies,
+            allocation=allocation,
+            satellites_up_fraction=satellites_up_fraction,
+            stations_up_fraction=stations_up_fraction,
+            telemetry=telemetry,
+            starved=starved,
+            steering=steering_stats,
+        )
+        return stats, telemetry, link_telemetry
+
+    @staticmethod
     def _evaluate_scenario_step(
-        router: SnapshotRouter,
+        router: "SnapshotRouter | None",
         capacity_graph,
         matrix: TrafficMatrix,
         scenario: Scenario,
@@ -1094,15 +1346,36 @@ class NetworkSimulator:
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
         flow_engine: str = "objects",
-    ) -> "tuple[StepStatistics, PairTelemetry | None]":
+        steering_controller=None,
+        backend: "RoutingBackend | None" = None,
+    ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Run stages 2-5 of the pipeline for one scenario at one step.
 
         ``flow_engine`` is the sweep default; :attr:`Scenario.flow_engine`
-        overrides it per scenario.  Returns the step statistics plus the
-        step's telemetry collection (``None`` when telemetry is off).
+        overrides it per scenario.  With an adaptive ``steering_controller``
+        the step routes on a *private* router over the controller-steered
+        snapshot (shared routers and route caches hold open-loop tables
+        that must not see per-scenario feedback state); allocation and all
+        reported statistics still run against the unsteered capacities and
+        delays.  Returns the step statistics plus the step's station-pair
+        and per-link telemetry collections (``None`` when absent).
         """
         if scenario.flow_engine is not None:
             flow_engine = scenario.flow_engine
+        if backend is None and router is not None:
+            backend = router.backend
+        edge_list = getattr(capacity_graph, "edge_list", None)
+        if steering_controller is not None:
+            if not isinstance(edge_list, SnapshotEdgeList):
+                raise ValueError(
+                    "adaptive steering requires an edge-list capacity view"
+                )
+            steered = steering_controller.steer(edge_list)
+            if getattr(backend, "uses_arrays", False):
+                router = SnapshotRouter(backend=backend, arrays=steered.arrays())
+            else:
+                router = SnapshotRouter(steered.graph(), backend=backend)
+            route_cache = None
         if flow_engine == "columnar":
             return NetworkSimulator._evaluate_columnar_step(
                 router,
@@ -1115,6 +1388,7 @@ class NetworkSimulator:
                 route_cache=route_cache,
                 satellites_up_fraction=satellites_up_fraction,
                 stations_up_fraction=stations_up_fraction,
+                steering_controller=steering_controller,
             )
         candidate_flows = NetworkSimulator._select_flows(
             matrix, station_names, flows_per_step, scenario.demand_multiplier
@@ -1143,22 +1417,19 @@ class NetworkSimulator:
                 ),
             )
         routed = NetworkSimulator._route_flows(router, candidate_flows, route_cache)
-        stats = NetworkSimulator._step_statistics(
+        return NetworkSimulator._finish_object_step(
+            capacity_graph,
             scenario,
-            utc_hour,
             candidate_count=len(candidate_flows),
-            routed_count=len(routed.flows),
-            offered=routed.offered,
-            routed_gbps=routed.routed,
-            latencies=routed.latencies,
-            allocation=NetworkSimulator._allocate(
-                capacity_graph, routed.flows, scenario.allocator
-            ),
+            routed=routed,
+            utc_hour=utc_hour,
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
             telemetry=telemetry,
+            steering_controller=steering_controller,
+            edge_list=edge_list,
+            uses_arrays=getattr(backend, "uses_arrays", False),
         )
-        return stats, telemetry
 
     @staticmethod
     def _step_statistics(
@@ -1175,12 +1446,18 @@ class NetworkSimulator:
         telemetry: "PairTelemetry | None",
         delivered: "float | None" = None,
         worst_util: "float | None" = None,
+        starved: float = 0.0,
+        steering: "tuple[int, float, int] | None" = None,
     ) -> StepStatistics:
         """Stage 5: fold one step's pipeline outputs into statistics.
 
         The columnar fast path passes ``delivered`` / ``worst_util``
         directly from its solver vectors (no :class:`AllocationResult` is
         built); the object path derives them from the allocation here.
+        ``starved`` is the demand of routed-but-zero-allocated flows (paths
+        through dead links), folded into the stranded total; ``steering``
+        carries the controller's ``(reroutes, max smoothed utilisation,
+        flaps)`` observability triple.
         """
         if delivered is None:
             delivered = allocation.total_allocated() if allocation else 0.0
@@ -1203,10 +1480,13 @@ class NetworkSimulator:
                 float(np.mean(latencies)) if latencies.size else float("inf")
             ),
             worst_link_utilisation=worst_util,
-            stranded_gbps=max(0.0, offered - routed_gbps),
+            stranded_gbps=max(0.0, offered - routed_gbps) + starved,
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
             top_pairs=top_pairs,
+            steering_reroutes=steering[0] if steering is not None else 0,
+            steering_max_utilisation=steering[1] if steering is not None else 0.0,
+            steering_flaps=steering[2] if steering is not None else 0,
         )
 
     @staticmethod
@@ -1221,7 +1501,8 @@ class NetworkSimulator:
         route_cache: _SharedRouteCache | None = None,
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
-    ) -> "tuple[StepStatistics, PairTelemetry | None]":
+        steering_controller=None,
+    ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Stages 2-5 with the columnar engine: no per-flow Python.
 
         Selection, routing fan-out, incidence compilation, allocation and
@@ -1230,7 +1511,11 @@ class NetworkSimulator:
         array-native backend (bulk predecessor exports), an edge-list
         capacity view and an array allocator; any other combination routes
         the *same columnar selection* through the reference stages, so
-        results are identical either way.
+        results are identical either way.  An adaptive
+        ``steering_controller`` arrives *after* :meth:`steer` -- the caller
+        already swapped ``router`` for the steered one -- so this stage
+        only closes the loop: export utilisation, re-read true latencies,
+        :meth:`observe`.
         """
         table = select_flow_table(
             matrix, station_names, flows_per_step, scenario.demand_multiplier
@@ -1254,31 +1539,53 @@ class NetworkSimulator:
             reference = NetworkSimulator._route_flows(
                 router, candidate_flows, route_cache
             )
-            stats = NetworkSimulator._step_statistics(
+            return NetworkSimulator._finish_object_step(
+                capacity_graph,
                 scenario,
-                utc_hour,
                 candidate_count=len(candidate_flows),
-                routed_count=len(reference.flows),
-                offered=reference.offered,
-                routed_gbps=reference.routed,
-                latencies=reference.latencies,
-                allocation=NetworkSimulator._allocate(
-                    capacity_graph, reference.flows, scenario.allocator
-                ),
+                routed=reference,
+                utc_hour=utc_hour,
                 satellites_up_fraction=satellites_up_fraction,
                 stations_up_fraction=stations_up_fraction,
                 telemetry=telemetry,
+                steering_controller=steering_controller,
+                edge_list=edge_list if isinstance(edge_list, SnapshotEdgeList) else None,
+                uses_arrays=getattr(router.backend, "uses_arrays", False),
             )
-            return stats, telemetry
         demand, offsets, rows = routed.compact()
         delivered = 0.0
         worst_util = 0.0
+        starved = 0.0
+        system = None
+        utilisation = None
         if demand.size:
             system = compile_system_from_rows(capacity_graph, demand, offsets, rows)
             rates, utilisation = ARRAY_SOLVERS[scenario.allocator](system)
             delivered = float(rates.sum())
             if utilisation.size:
                 worst_util = float(utilisation.max())
+            starved = float(demand[rates == 0.0].sum())
+        latencies = routed.latency_ms[routed.reachable]
+        steering_stats = None
+        link_telemetry = None
+        # The fast path always has the edge-list export, so link telemetry
+        # is gated exactly like the object path's capacity-view case.
+        if steering_controller is not None or scenario.telemetry is not None:
+            link_utilisation = (
+                system.link_utilisation_array(utilisation, len(edge_list.a))
+                if system is not None
+                else np.zeros(len(edge_list.a))
+            )
+            if steering_controller is not None:
+                # Steered routing distances are preferences, not times:
+                # re-read true latencies from the unsteered delay column.
+                latencies = path_delays_from_rows(edge_list, offsets, rows)
+                steering_controller.observe(edge_list, link_utilisation)
+                steering_stats = steering_controller.step_stats()
+            if scenario.telemetry is not None:
+                link_telemetry = NetworkSimulator._step_link_telemetry(
+                    scenario, edge_list, link_utilisation
+                )
         stats = NetworkSimulator._step_statistics(
             scenario,
             utc_hour,
@@ -1286,19 +1593,21 @@ class NetworkSimulator:
             routed_count=int(np.count_nonzero(routed.reachable)),
             offered=float(table.demand.sum()),
             routed_gbps=float(demand.sum()),
-            latencies=routed.latency_ms[routed.reachable],
+            latencies=latencies,
             allocation=None,
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
             telemetry=telemetry,
             delivered=delivered,
             worst_util=worst_util,
+            starved=starved,
+            steering=steering_stats,
         )
-        return stats, telemetry
+        return stats, telemetry, link_telemetry
 
     def _simulate_step(
         self,
-        router: SnapshotRouter,
+        router: "SnapshotRouter | None",
         capacity_graph,
         matrix: TrafficMatrix,
         scenario: Scenario,
@@ -1308,7 +1617,9 @@ class NetworkSimulator:
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
         flow_engine: str = "objects",
-    ) -> "tuple[StepStatistics, PairTelemetry | None]":
+        steering_controller=None,
+        backend: "RoutingBackend | None" = None,
+    ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Resolve the scenario's flow budget and evaluate one step."""
         flows_per_step = (
             scenario.flows_per_step
@@ -1327,6 +1638,8 @@ class NetworkSimulator:
             satellites_up_fraction=satellites_up_fraction,
             stations_up_fraction=stations_up_fraction,
             flow_engine=flow_engine,
+            steering_controller=steering_controller,
+            backend=backend,
         )
 
     @staticmethod
@@ -1355,6 +1668,7 @@ def run_grid(
     max_workers: int | None = None,
     executor: str = "thread",
     flow_engine: str = "objects",
+    steering: str | None = None,
     output_path: "str | Path | None" = None,
 ) -> dict[tuple[str, str], SimulationResult]:
     """Cross-product sweep: every constellation design times every scenario.
@@ -1371,9 +1685,10 @@ def run_grid(
     (mean/worst delivery ratio, mean latency) plus the full per-step
     statistics, together with the sweep axes and time grid.
 
-    ``backend`` / ``max_workers`` / ``executor`` are forwarded to every
-    per-design sweep, so a large grid can route array-natively and scale
-    over processes.
+    ``backend`` / ``max_workers`` / ``executor`` / ``steering`` are
+    forwarded to every per-design sweep, so a large grid can route
+    array-natively, scale over processes and close the congestion-steering
+    loop per cell.
     """
     if not designs:
         raise ValueError("at least one design is required")
@@ -1396,6 +1711,7 @@ def run_grid(
             backend=backend,
             executor=executor,
             flow_engine=flow_engine,
+            steering=steering,
         )
         for scenario_name, result in sweep.items():
             cells[(design_name, scenario_name)] = result

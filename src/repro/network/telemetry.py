@@ -44,6 +44,7 @@ __all__ = [
     "CountMinPairStore",
     "merge_stores",
     "PairTelemetry",
+    "LinkTelemetry",
     "TelemetryModel",
     "ExactTelemetry",
     "SketchTelemetry",
@@ -340,6 +341,50 @@ class PairTelemetry:
         )
 
     def total_gbps(self) -> float:
+        return self.store.total()
+
+
+@dataclass
+class LinkTelemetry:
+    """A per-link utilisation summary: a :class:`PairStore` keyed by links.
+
+    The link-space sibling of :class:`PairTelemetry`, sharing one signal
+    source with congestion steering: the per-link utilisation array the
+    allocation stage exports in link-index order.  Links are encoded as
+    ``min(row_a, row_b) * len(labels) + max(row_a, row_b)`` over the
+    snapshot's node label table -- the same undirected link code steering's
+    EWMA state uses -- so the summary is stable across steps of one
+    scenario group (labels are fixed within a group) and merges across
+    process workers like any other store.
+
+    Each step contributes that step's utilisation per link, so the
+    aggregate is *sustained heat*: a link at 0.9 utilisation for ten steps
+    scores 9.0, while a link that spiked to 1.0 once scores 1.0.
+    :meth:`top_links` surfaces the sustained-hot links of a simulation.
+    """
+
+    labels: tuple
+    store: PairStore
+
+    def observe_links(self, codes, utilisation) -> None:
+        """Add one step's (link code, utilisation) arrays."""
+        self.store.observe(codes, utilisation)
+
+    def merge(self, other: "LinkTelemetry") -> None:
+        if self.labels != other.labels:
+            raise ValueError("link telemetry merges only within one snapshot group")
+        self.store = merge_stores(self.store, other.store)
+
+    def top_links(self, count: int) -> tuple[tuple[object, object, float], ...]:
+        """Largest ``count`` (label_a, label_b, summed utilisation) links."""
+        size = len(self.labels)
+        return tuple(
+            (self.labels[key // size], self.labels[key % size], value)
+            for key, value in self.store.top(count)
+        )
+
+    def total(self) -> float:
+        """Sum of every observed per-step link utilisation."""
         return self.store.total()
 
 

@@ -276,6 +276,34 @@ def _telemetry_check(key: str, value: object) -> list[str]:
     return problems
 
 
+def _steering_check(key: str, value: object) -> list[str]:
+    from ...network.steering import SteeringPolicy
+
+    problems: list[str] = []
+    if not isinstance(value, SteeringPolicy):
+        problems.append(f"entry {type(value).__name__!r} is not a SteeringPolicy")
+        return problems
+    if not isinstance(getattr(value, "name", None), str):
+        problems.append("steering policy .name must be a string")
+    if not isinstance(getattr(value, "adaptive", None), bool):
+        problems.append("steering policy .adaptive must be a bool")
+    bound = getattr(value, "controller", None)
+    if not callable(bound):
+        problems.append("steering policy lacks controller()")
+    else:
+        problem = _callable_accepts(bound, 0)
+        if problem:
+            problems.append(f"controller: {problem}")
+    bound = getattr(value, "multipliers", None)
+    if not callable(bound):
+        problems.append("steering policy lacks multipliers()")
+    else:
+        problem = _callable_accepts(bound, 3)
+        if problem:
+            problems.append(f"multipliers: {problem}")
+    return problems
+
+
 def _experiment_check(key: str, value: object) -> list[str]:
     from ...analysis.experiments import Experiment
 
@@ -292,11 +320,12 @@ def _experiment_check(key: str, value: object) -> list[str]:
 
 
 def default_registry_specs() -> list[RegistrySpec]:
-    """Specs for the five live registries of the engine."""
+    """Specs for the six live registries of the engine."""
     from ...analysis.experiments import EXPERIMENTS  # noqa: F401 - existence
     from ...network.backends import get_backend
     from ...network.capacity import get_allocator
     from ...network.faults import get_fault_model
+    from ...network.steering import get_steering_policy
     from ...network.telemetry import get_telemetry
 
     return [
@@ -324,6 +353,14 @@ def default_registry_specs() -> list[RegistrySpec]:
             declared_name=lambda key, value: getattr(value, "name", None),
             accessor=get_fault_model,
             accessor_name="get_fault_model",
+        ),
+        RegistrySpec(
+            module="repro.network.steering",
+            attribute="STEERING_POLICIES",
+            entry_check=_steering_check,
+            declared_name=lambda key, value: getattr(value, "name", None),
+            accessor=get_steering_policy,
+            accessor_name="get_steering_policy",
         ),
         RegistrySpec(
             module="repro.network.telemetry",
