@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.coverage.walker import WalkerDelta
 from repro.demand.traffic_matrix import City, GravityTrafficModel
+from repro.obs import Tracer
 from repro.network.routing import SnapshotRouter
 from repro.network.ground_station import GroundStation
 from repro.network.simulation import (
@@ -130,7 +131,25 @@ def _run_comparison(smoke: bool):
         columnar_stats, columnar_telemetry, _ = evaluate("columnar")
     columnar_s = (time.perf_counter() - begin) / repetitions
 
+    # One traced columnar pass attributes the step to pipeline stages; the
+    # spans never touch pipeline values, so the statistics stay identical
+    # to the untraced passes timed above.
+    tracer = Tracer()
+    traced_stats, _, _ = NetworkSimulator._evaluate_scenario_step(
+        router,
+        view,
+        matrix,
+        scenario,
+        names,
+        flows_per_step,
+        utc_hour=12.0,
+        flow_engine="columnar",
+        tracer=tracer,
+    )
+
     return {
+        "stage_breakdown": tracer.metrics.stage_summary(),
+        "traced_equivalent": traced_stats == columnar_stats,
         "satellites": satellites,
         "stations": station_count,
         "station_pairs": station_count * (station_count - 1),
@@ -168,7 +187,12 @@ def test_flow_engine_speedup(benchmark, once, smoke):
         f"  sketch telemetry: {stats['sketch_bytes']/1024:.0f} KiB fixed "
         f"(vs O(pairs) exact)"
     )
+    for stage, row in stats["stage_breakdown"].items():
+        print(
+            f"  {stage:<14} {row['seconds']*1e3:8.1f} ms  ({row['share']:.0%})"
+        )
 
     assert stats["equivalent"], "engines must produce identical step statistics"
     assert stats["telemetry_equivalent"], "engines must produce identical telemetry"
+    assert stats["traced_equivalent"], "tracing must not perturb statistics"
     assert stats["speedup"] >= speedup_floor

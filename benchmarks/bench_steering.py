@@ -135,7 +135,20 @@ def _run_comparison(smoke: bool) -> dict:
     sticky_stranded = sticky_run["sweep"].mean_stranded_gbps()
     reroutes = sum(s.steering_reroutes for s in sticky_run["sweep"].steps)
 
+    # One instrumented adaptive sweep attributes the wall clock to pipeline
+    # stages -- the steering row is the control plane's absolute cost, the
+    # same quantity the overhead ratio above bounds relatively.
+    traced = simulator.run_scenarios(
+        scenarios("congestion-aware"),
+        epoch,
+        duration_hours,
+        backend="csgraph",
+        flow_engine="columnar",
+        instrument=True,
+    )
+
     return {
+        "stage_breakdown": traced["sweep"].metrics.stage_summary(),
         "satellites": satellites,
         "steps": int(duration_hours),
         "flows_per_step": flows_per_step,
@@ -176,6 +189,10 @@ def test_steering_overhead(benchmark, once, smoke):
         f"(-{stats['stranded_reduction_fraction']*100.0:.1f}%, "
         f"{stats['sticky_reroutes']} reroutes)"
     )
+    for stage, row in stats["stage_breakdown"].items():
+        print(
+            f"  {stage:<14} {row['seconds']*1e3:8.1f} ms  ({row['share']:.0%})"
+        )
 
     assert stats["steering_overhead_fraction"] < overhead_ceiling
     assert stats["sticky_mean_stranded_gbps"] < stats["static_mean_stranded_gbps"]

@@ -14,13 +14,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from . import figures
+from ..obs import Tracer, get_exporter
 from .report import format_grid_summary, format_series, format_table
 
 __all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "main"]
@@ -244,12 +244,18 @@ def main(argv: list[str] | None = None) -> int:
     if not selected:
         parser.print_help()
         return 1
+    # One span per experiment id: the tracer collects every run's duration
+    # and the table exporter prints the whole session's breakdown at the end.
+    tracer = Tracer(stages=tuple(dict.fromkeys(selected)))
     for experiment_id in selected:
         experiment = EXPERIMENTS[experiment_id]
         print(f"=== {experiment.experiment_id}: {experiment.title} ===")
-        started = time.perf_counter()
-        print(run_experiment(experiment_id, quick=args.quick))
-        print(f"--- completed in {time.perf_counter() - started:.1f} s ---\n")
+        with tracer.span(experiment_id) as span:
+            print(run_experiment(experiment_id, quick=args.quick))
+        print(f"--- completed in {span.seconds:.1f} s ---\n")
+    if len(selected) > 1:
+        print("=== timing breakdown ===")
+        print(get_exporter("table").render(tracer.metrics))
     return 0
 
 

@@ -99,6 +99,25 @@ class FlowLinkSystem:
     def link_count(self) -> int:
         return len(self.capacity)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the compiled incidence arrays (labels excluded).
+
+        The observability layer gauges this per allocation
+        (``gauges["incidence_bytes"]``): the COO traversal arrays are the
+        allocation stage's dominant allocation, scaling with total path
+        length rather than flow count.
+        """
+        total = (
+            self.demand.nbytes
+            + self.capacity.nbytes
+            + self.flow_ids.nbytes
+            + self.link_ids.nbytes
+        )
+        if self.link_rows is not None:
+            total += self.link_rows.nbytes
+        return int(total)
+
     def link_loads(self, rates: np.ndarray) -> np.ndarray:
         """Return per-link load ``A.T @ rates``, shape ``(L,)``."""
         return np.bincount(

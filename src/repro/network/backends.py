@@ -177,6 +177,22 @@ class SnapshotEdgeList:
         """Label table shared by every array view of this snapshot."""
         return NodeIndex(self.labels)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the per-step edge arrays (label table excluded).
+
+        The observability layer gauges this per step
+        (``gauges["edge_list_bytes"]``), so a sweep's metrics show where
+        snapshot memory goes as constellations scale.
+        """
+        return int(
+            self.a.nbytes
+            + self.b.nbytes
+            + self.distance_km.nbytes
+            + self.delay_ms.nbytes
+            + self.capacity_gbps.nbytes
+        )
+
     def arrays(self) -> EdgeArrays:
         """Return the CSR routing view (``delay_ms`` weighted)."""
         indptr, indices, weights = _csr_from_undirected(

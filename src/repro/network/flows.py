@@ -68,6 +68,11 @@ class FlowTable:
     def flow_count(self) -> int:
         return len(self.demand)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the columnar flow arrays (station names excluded)."""
+        return int(self.src.nbytes + self.dst.nbytes + self.demand.nbytes)
+
     def candidates(self) -> list[tuple[str, str, float]]:
         """Materialise the object path's candidate list, in table order.
 
@@ -103,6 +108,17 @@ class RoutedFlowTable:
     path_offsets: np.ndarray = field(compare=False)
     #: Concatenated snapshot-row paths of every reachable flow.
     path_rows: np.ndarray = field(compare=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the table plus its ragged routing arrays."""
+        return int(
+            self.table.nbytes
+            + self.reachable.nbytes
+            + self.latency_ms.nbytes
+            + self.path_offsets.nbytes
+            + self.path_rows.nbytes
+        )
 
     def compact(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(demand, offsets, rows)`` of the reachable flows only.

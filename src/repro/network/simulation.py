@@ -66,7 +66,8 @@ from __future__ import annotations
 
 import json
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Mapping as MappingType, NamedTuple
@@ -74,6 +75,13 @@ from typing import Mapping as MappingType, NamedTuple
 import numpy as np
 
 from ..demand.traffic_matrix import GravityTrafficModel, TrafficMatrix
+from ..obs import (
+    NULL_TRACER,
+    ProgressTracker,
+    RunMetrics,
+    Tracer,
+    combined_stage_means,
+)
 from .alloc_arrays import ARRAY_SOLVERS, compile_system_from_rows
 from ..orbits.time import Epoch, epoch_range
 from .backends import RoutingBackend, SnapshotEdgeList, get_backend
@@ -252,6 +260,13 @@ class SimulationResult:
     #: *and* the pipeline had the edge-list utilisation export available
     #: (array-native backend or adaptive steering).
     link_telemetry: LinkTelemetry | None = None
+    #: Per-stage durations, call counts, counters and memory gauges of this
+    #: scenario's run (:mod:`repro.obs`), present only when the sweep ran
+    #: with ``instrument=True``.  Shared per-step snapshot work is
+    #: amortised equally across the scenarios it serves, so summing a
+    #: sweep's per-scenario metrics conserves the total measured time;
+    #: worker-process metrics merge into this elementwise, like telemetry.
+    metrics: RunMetrics | None = None
 
     def sustained_hot_links(
         self, count: int = 5
@@ -508,6 +523,10 @@ class _WorkerScenario:
     #: Resolved *adaptive* steering policy name (``None`` means open loop:
     #: static and absent policies are normalised away by the driver).
     steering: str | None = None
+    #: Whether the worker records per-stage spans and metrics for this
+    #: scenario (tracers are built worker-side -- they hold a lock and are
+    #: deliberately never shipped).
+    instrument: bool = False
 
 
 def _sweep_process_worker(
@@ -515,7 +534,7 @@ def _sweep_process_worker(
     edge_lists: dict[int, list[SnapshotEdgeList]],
     utc_hours: list[float],
     traffic_model: GravityTrafficModel,
-) -> "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None]]":
+) -> "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None, RunMetrics | None]]":
     """Evaluate a slice of a sweep's scenarios over shipped edge arrays.
 
     Module-level so it pickles under every multiprocessing start method.
@@ -528,7 +547,10 @@ def _sweep_process_worker(
     state, so the merged aggregate pickles back cheaply).  Adaptive
     steering controllers are created here and replay every step in order,
     so feedback state -- and therefore results -- are bit-identical to the
-    serial path.
+    serial path.  Instrumented specs get a worker-local tracer whose
+    :class:`RunMetrics` travel back with the results (durations are
+    worker-local; counters, call counts and size gauges are deterministic,
+    so they merge to exactly the serial values).
     """
     matrix_cache = _TrafficMatrixCache(traffic_model)
     steps: dict[str, list[StepStatistics]] = {
@@ -545,28 +567,41 @@ def _sweep_process_worker(
         for spec in specs
         if spec.steering is not None
     }
+    tracers = {
+        spec.scenario.name: Tracer() for spec in specs if spec.instrument
+    }
     for step, utc_hour in enumerate(utc_hours):
         matrix = matrix_cache.matrix_at(utc_hour)
         routers: dict = {}
         caches: dict = {}
         views: dict = {}
         for spec in specs:
-            controller = controllers.get(spec.scenario.name)
+            name = spec.scenario.name
+            controller = controllers.get(name)
+            tracer = tracers.get(name, NULL_TRACER)
             key = (spec.group_index, spec.backend)
             # Adaptive scenarios route on private steered snapshots, so the
             # shared (and shared-cache) router is only built for open-loop
-            # consumers of this (group, backend).
-            if controller is None and key not in routers:
-                edges = edge_lists[spec.group_index][step]
-                backend = get_backend(spec.backend)
-                if backend.uses_arrays:
-                    routers[key] = SnapshotRouter(backend=backend, arrays=edges.arrays())
-                else:
-                    routers[key] = SnapshotRouter(edges.graph(), backend=backend)
-                caches[key] = _SharedRouteCache()
-            if spec.group_index not in views:
-                views[spec.group_index] = _EdgeListCapacityView(
-                    edge_lists[spec.group_index][step]
+            # consumers of this (group, backend).  The first spec of a
+            # (group, backend) pays -- and records -- the snapshot build.
+            with tracer.span("snapshot"):
+                if controller is None and key not in routers:
+                    edges = edge_lists[spec.group_index][step]
+                    backend = get_backend(spec.backend)
+                    if backend.uses_arrays:
+                        routers[key] = SnapshotRouter(
+                            backend=backend, arrays=edges.arrays()
+                        )
+                    else:
+                        routers[key] = SnapshotRouter(edges.graph(), backend=backend)
+                    caches[key] = _SharedRouteCache()
+                if spec.group_index not in views:
+                    views[spec.group_index] = _EdgeListCapacityView(
+                        edge_lists[spec.group_index][step]
+                    )
+            if tracer.enabled:
+                tracer.gauge(
+                    "edge_list_bytes", edge_lists[spec.group_index][step].nbytes
                 )
             stats, step_telemetry, step_links = NetworkSimulator._evaluate_scenario_step(
                 routers.get(key),
@@ -586,8 +621,8 @@ def _sweep_process_worker(
                 flow_engine=spec.flow_engine,
                 steering_controller=controller,
                 backend=get_backend(spec.backend),
+                tracer=tracer,
             )
-            name = spec.scenario.name
             steps[name].append(stats)
             if step_telemetry is not None:
                 if aggregates[name] is None:
@@ -600,7 +635,12 @@ def _sweep_process_worker(
                 else:
                     link_aggregates[name].merge(step_links)
     return {
-        name: (steps[name], aggregates[name], link_aggregates[name])
+        name: (
+            steps[name],
+            aggregates[name],
+            link_aggregates[name],
+            tracers[name].metrics if name in tracers else None,
+        )
         for name in steps
     }
 
@@ -640,11 +680,14 @@ class NetworkSimulator:
         backend: "str | RoutingBackend" = "networkx",
         flow_engine: str = "objects",
         steering: str | None = None,
+        instrument: bool = False,
     ) -> SimulationResult:
         """Run a single default scenario and return per-step statistics.
 
         Equivalent to a one-element :meth:`run_scenarios` sweep; kept as the
-        simple entry point.
+        simple entry point.  ``instrument=True`` attaches per-stage
+        :class:`~repro.obs.RunMetrics` to the result (see
+        :mod:`repro.obs`); the default leaves the pipeline untraced.
         """
         scenario = Scenario(name="run", allocator=allocator)
         return self.run_scenarios(
@@ -655,6 +698,7 @@ class NetworkSimulator:
             backend=backend,
             flow_engine=flow_engine,
             steering=steering,
+            instrument=instrument,
         )["run"]
 
     def run_scenarios(
@@ -668,6 +712,8 @@ class NetworkSimulator:
         executor: str = "thread",
         flow_engine: str = "objects",
         steering: str | None = None,
+        instrument: bool = False,
+        progress=None,
     ) -> dict[str, SimulationResult]:
         """Run every scenario over one shared snapshot sequence.
 
@@ -713,6 +759,22 @@ class NetworkSimulator:
         always true (unsteered) path delays, and ``"static"`` / ``None``
         bypass the controller machinery entirely, so open-loop results are
         bit-identical to pre-steering builds.
+
+        ``instrument=True`` traces the sweep with :mod:`repro.obs`: every
+        result carries a :attr:`SimulationResult.metrics` with per-stage
+        durations, call counts, deterministic flow counters and working-set
+        gauges.  Spans only ever read the monotonic clock around stages --
+        they never touch pipeline values -- so instrumented statistics are
+        bit-identical to untraced runs, and the default (off) path keeps
+        the shared :data:`~repro.obs.NULL_TRACER` whose spans are free.
+
+        ``progress`` optionally observes sweep completion: pass a callable
+        receiving :class:`~repro.obs.ProgressEvent` (e.g.
+        :class:`~repro.obs.StderrProgress` for a rate-limited stderr line)
+        or a preconfigured :class:`~repro.obs.ProgressTracker` (as
+        :func:`run_grid` does, to aggregate one ETA across many sweeps).
+        Progress is counted in *cells* -- one scenario-step evaluation --
+        with EWMA-smoothed throughput and ETA.
         """
         if duration_hours <= 0 or step_hours <= 0:
             raise ValueError("duration_hours and step_hours must be positive")
@@ -771,6 +833,20 @@ class NetworkSimulator:
             for index in range(len(epochs))
         ]
 
+        # Observation plumbing: tracers exist only when asked for (progress
+        # needs per-stage means, so it implies tracing too); otherwise every
+        # stage sees the shared NULL_TRACER and pays nothing.
+        if progress is None:
+            tracker = None
+        elif isinstance(progress, ProgressTracker):
+            tracker = progress
+        else:
+            tracker = ProgressTracker(
+                total=len(scenarios) * len(epochs), callback=progress
+            )
+        observe = bool(instrument) or tracker is not None
+        tracers = {name: Tracer() for name in names} if observe else {}
+
         # Fault schedules are compiled exactly once per distinct (station
         # subset, spec tuple) -- by the driver, never by a worker -- so every
         # executor and both backends apply bit-identical masks.  Compiling
@@ -807,6 +883,8 @@ class NetworkSimulator:
                 max_workers,
                 flow_engine,
                 steering_of,
+                instrument=bool(instrument),
+                tracker=tracker,
             )
 
         matrix_cache = _TrafficMatrixCache(self.traffic_model)
@@ -889,6 +967,7 @@ class NetworkSimulator:
             for index in range(len(epochs)):
                 utc_hour = utc_hours[index]
                 matrix = matrix_cache.matrix_at(utc_hour)
+                snapshot_begin = time.perf_counter() if observe else 0.0
                 step_graphs = {
                     group: next(stream) for group, stream in streams.items()
                 }
@@ -924,6 +1003,20 @@ class NetworkSimulator:
                         )
                 for cache in route_caches.values():
                     cache.reset()
+                if observe:
+                    # The snapshot stage (graph advance, edge-list export,
+                    # CSR conversion, shared router builds) is driver work
+                    # serving the whole sweep at once; amortise it equally
+                    # so per-scenario metrics sum to the measured total.
+                    share = (time.perf_counter() - snapshot_begin) / len(scenarios)
+                    for scenario in scenarios:
+                        tracer = tracers[scenario.name]
+                        tracer.record_seconds("snapshot", share)
+                        group = groups[scenario.name]
+                        if group in step_lists:
+                            tracer.gauge(
+                                "edge_list_bytes", step_lists[group].nbytes
+                            )
 
                 def _evaluate(
                     scenario: Scenario,
@@ -964,6 +1057,7 @@ class NetworkSimulator:
                         flow_engine=flow_engine,
                         steering_controller=controller,
                         backend=effective_backends[scenario.name],
+                        tracer=tracers.get(scenario.name),
                     )
 
                 if pool is not None:
@@ -985,9 +1079,19 @@ class NetworkSimulator:
                             result.link_telemetry = step_links
                         else:
                             result.link_telemetry.merge(step_links)
+                if tracker is not None:
+                    tracker.advance(
+                        len(scenarios),
+                        stage_means=combined_stage_means(
+                            [tracer.metrics for tracer in tracers.values()]
+                        ),
+                    )
         finally:
             if pool is not None:
                 pool.shutdown()
+        if instrument:
+            for name in names:
+                results[name].metrics = tracers[name].metrics
         return results
 
     def _run_scenarios_processes(
@@ -1001,13 +1105,19 @@ class NetworkSimulator:
         max_workers: int,
         flow_engine: str = "objects",
         steering_of: "dict | None" = None,
+        instrument: bool = False,
+        tracker: "ProgressTracker | None" = None,
     ) -> dict[str, SimulationResult]:
         """Fan a sweep out to worker processes over picklable edge arrays.
 
         Fault masks are applied to the edge lists *before* shipping, so a
         worker evaluating a faulted scenario receives the identical degraded
         arrays the serial path routes on -- fault sweeps are bit-identical
-        across executors by construction.
+        across executors by construction.  Tracers are never shipped (they
+        hold a lock): workers build their own and return plain picklable
+        :class:`~repro.obs.RunMetrics`.  Progress is necessarily coarser
+        than the in-process path -- a worker reports only when its whole
+        chunk completes -- but the cell totals and stage means still add up.
         """
         # Workers resolve backends from the registry by name; an unregistered
         # instance would be silently swapped for (or fail to resolve to) a
@@ -1073,12 +1183,13 @@ class NetworkSimulator:
                         if steering_of[scenario.name] is not None
                         else None
                     ),
+                    instrument=instrument or tracker is not None,
                 )
             )
         chunks = [chunk for chunk in (specs[i::max_workers] for i in range(max_workers)) if chunk]
-        merged: "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None]]" = {}
+        merged: "dict[str, tuple[list[StepStatistics], PairTelemetry | None, LinkTelemetry | None, RunMetrics | None]]" = {}
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
+            futures = {
                 pool.submit(
                     _sweep_process_worker,
                     chunk,
@@ -1088,16 +1199,30 @@ class NetworkSimulator:
                     },
                     utc_hours,
                     self.traffic_model,
-                )
+                ): chunk
                 for chunk in chunks
-            ]
-            for future in futures:
-                merged.update(future.result())
+            }
+            if tracker is None:
+                for future in futures:
+                    merged.update(future.result())
+            else:
+                # Advance as chunks land: each completed future accounts for
+                # its chunk's scenarios over every step of the sweep.
+                for future in as_completed(futures):
+                    part = future.result()
+                    merged.update(part)
+                    tracker.advance(
+                        len(futures[future]) * steps,
+                        stage_means=combined_stage_means(
+                            [item[3] for item in merged.values() if item[3] is not None]
+                        ),
+                    )
         return {
             scenario.name: SimulationResult(
                 steps=merged[scenario.name][0],
                 telemetry=merged[scenario.name][1],
                 link_telemetry=merged[scenario.name][2],
+                metrics=merged[scenario.name][3] if instrument else None,
             )
             for scenario in scenarios
         }
@@ -1267,6 +1392,7 @@ class NetworkSimulator:
         steering_controller,
         edge_list,
         uses_arrays: bool,
+        tracer: "Tracer | None" = None,
     ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Stages 4-5 of the object engine: allocate, close the loop, fold.
 
@@ -1278,19 +1404,21 @@ class NetworkSimulator:
         condition is backend/steering-based, never executor-based, so a
         scenario collects the same telemetry under every executor.
         """
-        allocation = NetworkSimulator._allocate(
-            capacity_graph, routed.flows, scenario.allocator
-        )
-        starved = 0.0
-        if allocation is not None:
-            # Dict insertion order is routed-flow order for every in-repo
-            # allocator, so this is the per-flow rate vector.
-            rates = np.fromiter(
-                allocation.allocated_gbps.values(),
-                dtype=float,
-                count=len(allocation.allocated_gbps),
+        obs = tracer if tracer is not None else NULL_TRACER
+        with obs.span("allocation"):
+            allocation = NetworkSimulator._allocate(
+                capacity_graph, routed.flows, scenario.allocator
             )
-            starved = float(routed.demands[rates == 0.0].sum())
+            starved = 0.0
+            if allocation is not None:
+                # Dict insertion order is routed-flow order for every in-repo
+                # allocator, so this is the per-flow rate vector.
+                rates = np.fromiter(
+                    allocation.allocated_gbps.values(),
+                    dtype=float,
+                    count=len(allocation.allocated_gbps),
+                )
+                starved = float(routed.demands[rates == 0.0].sum())
         latencies = routed.latencies
         steering_stats = None
         link_telemetry = None
@@ -1300,37 +1428,51 @@ class NetworkSimulator:
             and (uses_arrays or steering_controller is not None)
         )
         if steering_controller is not None or collect_links:
-            utilisation = (
-                allocation.link_utilisation_array(edge_list)
-                if allocation is not None
-                else np.zeros(len(edge_list.a))
-            )
-            if steering_controller is not None:
-                # Routing ran on steered weights, which are preferences,
-                # not times: re-read true latencies from the snapshot.
-                paths = [flow.path for flow in routed.flows]  # repro-lint: ignore[RPL006]
-                latencies = path_delays(edge_list, paths)
-                steering_controller.observe(edge_list, utilisation)
-                steering_stats = steering_controller.step_stats()
-            if collect_links:
-                link_telemetry = NetworkSimulator._step_link_telemetry(
-                    scenario, edge_list, utilisation
+            # The utilisation export serves both loop closure and link
+            # telemetry; attribute it to whichever consumer is live.
+            with obs.span(
+                "steering" if steering_controller is not None else "telemetry"
+            ):
+                utilisation = (
+                    allocation.link_utilisation_array(edge_list)
+                    if allocation is not None
+                    else np.zeros(len(edge_list.a))
                 )
-        stats = NetworkSimulator._step_statistics(
-            scenario,
-            utc_hour,
-            candidate_count=candidate_count,
-            routed_count=len(routed.flows),
-            offered=routed.offered,
-            routed_gbps=routed.routed,
-            latencies=latencies,
-            allocation=allocation,
-            satellites_up_fraction=satellites_up_fraction,
-            stations_up_fraction=stations_up_fraction,
-            telemetry=telemetry,
-            starved=starved,
-            steering=steering_stats,
-        )
+                if steering_controller is not None:
+                    # Routing ran on steered weights, which are preferences,
+                    # not times: re-read true latencies from the snapshot.
+                    paths = [flow.path for flow in routed.flows]  # repro-lint: ignore[RPL006]
+                    latencies = path_delays(edge_list, paths)
+                    steering_controller.observe(edge_list, utilisation)
+                    steering_stats = steering_controller.step_stats()
+            if collect_links:
+                with obs.span("telemetry"):
+                    link_telemetry = NetworkSimulator._step_link_telemetry(
+                        scenario, edge_list, utilisation
+                    )
+        with obs.span("statistics"):
+            stats = NetworkSimulator._step_statistics(
+                scenario,
+                utc_hour,
+                candidate_count=candidate_count,
+                routed_count=len(routed.flows),
+                offered=routed.offered,
+                routed_gbps=routed.routed,
+                latencies=latencies,
+                allocation=allocation,
+                satellites_up_fraction=satellites_up_fraction,
+                stations_up_fraction=stations_up_fraction,
+                telemetry=telemetry,
+                starved=starved,
+                steering=steering_stats,
+            )
+        if obs.enabled:
+            if steering_controller is not None:
+                obs.gauge(
+                    "steering_state_bytes", steering_controller.memory_bytes()
+                )
+            if telemetry is not None:
+                obs.gauge("telemetry_bytes", telemetry.store.memory_bytes())
         return stats, telemetry, link_telemetry
 
     @staticmethod
@@ -1348,6 +1490,7 @@ class NetworkSimulator:
         flow_engine: str = "objects",
         steering_controller=None,
         backend: "RoutingBackend | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Run stages 2-5 of the pipeline for one scenario at one step.
 
@@ -1364,18 +1507,22 @@ class NetworkSimulator:
             flow_engine = scenario.flow_engine
         if backend is None and router is not None:
             backend = router.backend
+        obs = tracer if tracer is not None else NULL_TRACER
         edge_list = getattr(capacity_graph, "edge_list", None)
         if steering_controller is not None:
             if not isinstance(edge_list, SnapshotEdgeList):
                 raise ValueError(
                     "adaptive steering requires an edge-list capacity view"
                 )
-            steered = steering_controller.steer(edge_list)
-            if getattr(backend, "uses_arrays", False):
-                router = SnapshotRouter(backend=backend, arrays=steered.arrays())
-            else:
-                router = SnapshotRouter(steered.graph(), backend=backend)
+            with obs.span("steering"):
+                steered = steering_controller.steer(edge_list)
+                if getattr(backend, "uses_arrays", False):
+                    router = SnapshotRouter(backend=backend, arrays=steered.arrays())
+                else:
+                    router = SnapshotRouter(steered.graph(), backend=backend)
             route_cache = None
+        if obs.enabled:
+            obs.counter("steps")
         if flow_engine == "columnar":
             return NetworkSimulator._evaluate_columnar_step(
                 router,
@@ -1389,34 +1536,42 @@ class NetworkSimulator:
                 satellites_up_fraction=satellites_up_fraction,
                 stations_up_fraction=stations_up_fraction,
                 steering_controller=steering_controller,
+                tracer=obs,
             )
-        candidate_flows = NetworkSimulator._select_flows(
-            matrix, station_names, flows_per_step, scenario.demand_multiplier
-        )
+        with obs.span("flow_selection"):
+            candidate_flows = NetworkSimulator._select_flows(
+                matrix, station_names, flows_per_step, scenario.demand_multiplier
+            )
+        if obs.enabled:
+            obs.counter("flows_selected", len(candidate_flows))
         telemetry: PairTelemetry | None = None
         if scenario.telemetry is not None:
-            ids = {name: index for index, name in enumerate(station_names)}
-            count = len(candidate_flows)
-            telemetry = NetworkSimulator._step_pair_telemetry(
-                scenario,
-                station_names,
-                np.fromiter(
-                    (ids[src] for src, _, _ in candidate_flows),
-                    dtype=np.int64,
-                    count=count,
-                ),
-                np.fromiter(
-                    (ids[dst] for _, dst, _ in candidate_flows),
-                    dtype=np.int64,
-                    count=count,
-                ),
-                np.fromiter(
-                    (demand for _, _, demand in candidate_flows),
-                    dtype=float,
-                    count=count,
-                ),
-            )
-        routed = NetworkSimulator._route_flows(router, candidate_flows, route_cache)
+            with obs.span("telemetry"):
+                ids = {name: index for index, name in enumerate(station_names)}
+                count = len(candidate_flows)
+                telemetry = NetworkSimulator._step_pair_telemetry(
+                    scenario,
+                    station_names,
+                    np.fromiter(
+                        (ids[src] for src, _, _ in candidate_flows),
+                        dtype=np.int64,
+                        count=count,
+                    ),
+                    np.fromiter(
+                        (ids[dst] for _, dst, _ in candidate_flows),
+                        dtype=np.int64,
+                        count=count,
+                    ),
+                    np.fromiter(
+                        (demand for _, _, demand in candidate_flows),
+                        dtype=float,
+                        count=count,
+                    ),
+                )
+        with obs.span("routing"):
+            routed = NetworkSimulator._route_flows(router, candidate_flows, route_cache)
+        if obs.enabled:
+            obs.counter("flows_routed", len(routed.flows))
         return NetworkSimulator._finish_object_step(
             capacity_graph,
             scenario,
@@ -1429,6 +1584,7 @@ class NetworkSimulator:
             steering_controller=steering_controller,
             edge_list=edge_list,
             uses_arrays=getattr(backend, "uses_arrays", False),
+            tracer=obs,
         )
 
     @staticmethod
@@ -1502,6 +1658,7 @@ class NetworkSimulator:
         satellites_up_fraction: float = 1.0,
         stations_up_fraction: float = 1.0,
         steering_controller=None,
+        tracer: "Tracer | None" = None,
     ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Stages 2-5 with the columnar engine: no per-flow Python.
 
@@ -1517,12 +1674,21 @@ class NetworkSimulator:
         only closes the loop: export utilisation, re-read true latencies,
         :meth:`observe`.
         """
-        table = select_flow_table(
-            matrix, station_names, flows_per_step, scenario.demand_multiplier
-        )
-        telemetry = NetworkSimulator._step_pair_telemetry(
-            scenario, station_names, table.src, table.dst, table.demand
-        )
+        obs = tracer if tracer is not None else NULL_TRACER
+        with obs.span("flow_selection"):
+            table = select_flow_table(
+                matrix, station_names, flows_per_step, scenario.demand_multiplier
+            )
+        if obs.enabled:
+            obs.counter("flows_selected", table.flow_count)
+            obs.gauge("flow_table_bytes", table.nbytes)
+        if scenario.telemetry is not None:
+            with obs.span("telemetry"):
+                telemetry = NetworkSimulator._step_pair_telemetry(
+                    scenario, station_names, table.src, table.dst, table.demand
+                )
+        else:
+            telemetry = None
         edge_list = getattr(capacity_graph, "edge_list", None)
         routed = None
         if (
@@ -1530,15 +1696,19 @@ class NetworkSimulator:
             and isinstance(edge_list, SnapshotEdgeList)
             and scenario.allocator in ARRAY_SOLVERS
         ):
-            routed = route_flow_table(router, table, route_cache)
+            with obs.span("routing"):
+                routed = route_flow_table(router, table, route_cache)
         if routed is None:
             # Reference fallback: the columnar selection feeds the object
             # stages (graph-view backend, dict allocator, or a routing
             # table without bulk export).
             candidate_flows = table.candidates()
-            reference = NetworkSimulator._route_flows(
-                router, candidate_flows, route_cache
-            )
+            with obs.span("routing"):
+                reference = NetworkSimulator._route_flows(
+                    router, candidate_flows, route_cache
+                )
+            if obs.enabled:
+                obs.counter("flows_routed", len(reference.flows))
             return NetworkSimulator._finish_object_step(
                 capacity_graph,
                 scenario,
@@ -1551,58 +1721,77 @@ class NetworkSimulator:
                 steering_controller=steering_controller,
                 edge_list=edge_list if isinstance(edge_list, SnapshotEdgeList) else None,
                 uses_arrays=getattr(router.backend, "uses_arrays", False),
+                tracer=obs,
             )
+        if obs.enabled:
+            obs.counter("flows_routed", int(np.count_nonzero(routed.reachable)))
+            obs.gauge("flow_table_bytes", routed.nbytes)
         demand, offsets, rows = routed.compact()
         delivered = 0.0
         worst_util = 0.0
         starved = 0.0
         system = None
         utilisation = None
-        if demand.size:
-            system = compile_system_from_rows(capacity_graph, demand, offsets, rows)
-            rates, utilisation = ARRAY_SOLVERS[scenario.allocator](system)
-            delivered = float(rates.sum())
-            if utilisation.size:
-                worst_util = float(utilisation.max())
-            starved = float(demand[rates == 0.0].sum())
+        with obs.span("allocation"):
+            if demand.size:
+                system = compile_system_from_rows(capacity_graph, demand, offsets, rows)
+                rates, utilisation = ARRAY_SOLVERS[scenario.allocator](system)
+                delivered = float(rates.sum())
+                if utilisation.size:
+                    worst_util = float(utilisation.max())
+                starved = float(demand[rates == 0.0].sum())
+        if obs.enabled and system is not None:
+            obs.gauge("incidence_bytes", system.nbytes)
         latencies = routed.latency_ms[routed.reachable]
         steering_stats = None
         link_telemetry = None
         # The fast path always has the edge-list export, so link telemetry
         # is gated exactly like the object path's capacity-view case.
         if steering_controller is not None or scenario.telemetry is not None:
-            link_utilisation = (
-                system.link_utilisation_array(utilisation, len(edge_list.a))
-                if system is not None
-                else np.zeros(len(edge_list.a))
-            )
-            if steering_controller is not None:
-                # Steered routing distances are preferences, not times:
-                # re-read true latencies from the unsteered delay column.
-                latencies = path_delays_from_rows(edge_list, offsets, rows)
-                steering_controller.observe(edge_list, link_utilisation)
-                steering_stats = steering_controller.step_stats()
-            if scenario.telemetry is not None:
-                link_telemetry = NetworkSimulator._step_link_telemetry(
-                    scenario, edge_list, link_utilisation
+            with obs.span(
+                "steering" if steering_controller is not None else "telemetry"
+            ):
+                link_utilisation = (
+                    system.link_utilisation_array(utilisation, len(edge_list.a))
+                    if system is not None
+                    else np.zeros(len(edge_list.a))
                 )
-        stats = NetworkSimulator._step_statistics(
-            scenario,
-            utc_hour,
-            candidate_count=table.flow_count,
-            routed_count=int(np.count_nonzero(routed.reachable)),
-            offered=float(table.demand.sum()),
-            routed_gbps=float(demand.sum()),
-            latencies=latencies,
-            allocation=None,
-            satellites_up_fraction=satellites_up_fraction,
-            stations_up_fraction=stations_up_fraction,
-            telemetry=telemetry,
-            delivered=delivered,
-            worst_util=worst_util,
-            starved=starved,
-            steering=steering_stats,
-        )
+                if steering_controller is not None:
+                    # Steered routing distances are preferences, not times:
+                    # re-read true latencies from the unsteered delay column.
+                    latencies = path_delays_from_rows(edge_list, offsets, rows)
+                    steering_controller.observe(edge_list, link_utilisation)
+                    steering_stats = steering_controller.step_stats()
+            if scenario.telemetry is not None:
+                with obs.span("telemetry"):
+                    link_telemetry = NetworkSimulator._step_link_telemetry(
+                        scenario, edge_list, link_utilisation
+                    )
+        with obs.span("statistics"):
+            stats = NetworkSimulator._step_statistics(
+                scenario,
+                utc_hour,
+                candidate_count=table.flow_count,
+                routed_count=int(np.count_nonzero(routed.reachable)),
+                offered=float(table.demand.sum()),
+                routed_gbps=float(demand.sum()),
+                latencies=latencies,
+                allocation=None,
+                satellites_up_fraction=satellites_up_fraction,
+                stations_up_fraction=stations_up_fraction,
+                telemetry=telemetry,
+                delivered=delivered,
+                worst_util=worst_util,
+                starved=starved,
+                steering=steering_stats,
+            )
+        if obs.enabled:
+            if steering_controller is not None:
+                obs.gauge(
+                    "steering_state_bytes", steering_controller.memory_bytes()
+                )
+            if telemetry is not None:
+                obs.gauge("telemetry_bytes", telemetry.store.memory_bytes())
         return stats, telemetry, link_telemetry
 
     def _simulate_step(
@@ -1619,6 +1808,7 @@ class NetworkSimulator:
         flow_engine: str = "objects",
         steering_controller=None,
         backend: "RoutingBackend | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> "tuple[StepStatistics, PairTelemetry | None, LinkTelemetry | None]":
         """Resolve the scenario's flow budget and evaluate one step."""
         flows_per_step = (
@@ -1640,6 +1830,7 @@ class NetworkSimulator:
             flow_engine=flow_engine,
             steering_controller=steering_controller,
             backend=backend,
+            tracer=tracer,
         )
 
     @staticmethod
@@ -1669,6 +1860,8 @@ def run_grid(
     executor: str = "thread",
     flow_engine: str = "objects",
     steering: str | None = None,
+    instrument: bool = False,
+    progress=None,
     output_path: "str | Path | None" = None,
 ) -> dict[tuple[str, str], SimulationResult]:
     """Cross-product sweep: every constellation design times every scenario.
@@ -1685,13 +1878,28 @@ def run_grid(
     (mean/worst delivery ratio, mean latency) plus the full per-step
     statistics, together with the sweep axes and time grid.
 
-    ``backend`` / ``max_workers`` / ``executor`` / ``steering`` are
-    forwarded to every per-design sweep, so a large grid can route
-    array-natively, scale over processes and close the congestion-steering
-    loop per cell.
+    ``backend`` / ``max_workers`` / ``executor`` / ``steering`` /
+    ``instrument`` are forwarded to every per-design sweep, so a large grid
+    can route array-natively, scale over processes, close the
+    congestion-steering loop and attach per-stage
+    :class:`~repro.obs.RunMetrics` per cell.  ``progress`` observes the
+    *whole grid* through one shared :class:`~repro.obs.ProgressTracker`
+    (total cells = designs x scenarios x steps), so the reported ETA spans
+    every remaining design, not just the sweep in flight.
     """
     if not designs:
         raise ValueError("at least one design is required")
+    tracker = None
+    if progress is not None:
+        if isinstance(progress, ProgressTracker):
+            tracker = progress
+        else:
+            steps = len(
+                epoch_range(start, duration_hours * 3600.0, step_hours * 3600.0)
+            )
+            tracker = ProgressTracker(
+                total=len(designs) * len(scenarios) * steps, callback=progress
+            )
     cells: dict[tuple[str, str], SimulationResult] = {}
     for design_name, topology in designs.items():
         simulator = NetworkSimulator(
@@ -1712,6 +1920,8 @@ def run_grid(
             executor=executor,
             flow_engine=flow_engine,
             steering=steering,
+            instrument=instrument,
+            progress=tracker,
         )
         for scenario_name, result in sweep.items():
             cells[(design_name, scenario_name)] = result

@@ -308,6 +308,21 @@ class SteeringController:
         """Number of links currently engaged (penalised)."""
         return int(self._engaged.sum())
 
+    def memory_bytes(self) -> int:
+        """Bytes held by the controller's per-link state arrays.
+
+        Pruning (see :meth:`observe`) keeps this proportional to the hot
+        link set; the observability layer records it as the
+        ``"steering_state_bytes"`` high-watermark gauge so adaptive sweeps
+        can verify the state never grows with run length.
+        """
+        return int(
+            self._codes.nbytes
+            + self._ewma.nbytes
+            + self._engaged.nbytes
+            + self._cooldown.nbytes
+        )
+
 
 @dataclass(frozen=True)
 class SteeringPolicy(ABC):

@@ -1,0 +1,177 @@
+"""Sweep progress events with EWMA-smoothed ETA.
+
+A grid sweep is the engine's long-running operation; this module makes it
+report like one.  :class:`ProgressTracker` turns "another ``count`` cells
+finished" calls into :class:`ProgressEvent` records -- completed/total
+cells, elapsed time, an EWMA-smoothed completion rate (one hot or cold
+step does not yank the estimate around, the same smoothing discipline as
+steering's utilisation EWMA) and the ETA it implies -- and hands each
+event to a callback.  :class:`StderrProgress` is the provided reporter: a
+rate-limited line writer for terminals and CI logs.
+
+Everything clocks off monotonic ``perf_counter`` (injectable for
+deterministic tests); wall clocks never appear (RPL001).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+__all__ = ["ProgressEvent", "ProgressTracker", "StderrProgress"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress observation of a running sweep."""
+
+    #: Cells completed so far (a cell is one scenario evaluated at one step).
+    completed: int
+    #: Total cells of the sweep.
+    total: int
+    #: Seconds since the tracker was created.
+    elapsed_s: float
+    #: EWMA-smoothed completion rate [cells/s]; 0 until the first interval.
+    rate_per_s: float
+    #: Estimated seconds to completion (``inf`` until a rate is known,
+    #: exactly 0 once ``completed == total``).
+    eta_s: float
+    #: Per-stage running mean durations [s], in stage order (empty when the
+    #: sweep runs uninstrumented).
+    stage_means_s: tuple[tuple[str, float], ...] = ()
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction (1.0 for an empty sweep)."""
+        return self.completed / self.total if self.total else 1.0
+
+
+class ProgressTracker:
+    """Folds completion ticks into smoothed :class:`ProgressEvent` records.
+
+    One tracker spans one logical sweep; :func:`repro.network.simulation.run_grid`
+    shares a single tracker across its per-design sub-sweeps so the ETA
+    covers the whole grid.  ``advance`` is driver-side only (once per step
+    or per completed worker chunk), so it needs no locking.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        callback,
+        alpha: float = 0.3,
+        clock=time.perf_counter,
+    ) -> None:
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not callable(callback):
+            raise ValueError("callback must be callable")
+        self.total = int(total)
+        self.completed = 0
+        self._callback = callback
+        self._alpha = float(alpha)
+        self._clock = clock
+        self._begin = clock()
+        self._last = self._begin
+        self._rate: "float | None" = None
+
+    def advance(
+        self,
+        count: int = 1,
+        stage_means: "dict[str, float] | None" = None,
+    ) -> ProgressEvent:
+        """Record ``count`` newly completed cells and emit one event."""
+        now = self._clock()
+        self.completed += int(count)
+        interval = now - self._last
+        self._last = now
+        if interval > 0.0:
+            instantaneous = count / interval
+            self._rate = (
+                instantaneous
+                if self._rate is None
+                else self._alpha * instantaneous + (1.0 - self._alpha) * self._rate
+            )
+        remaining = max(self.total - self.completed, 0)
+        if remaining == 0:
+            eta = 0.0
+        elif self._rate:
+            eta = remaining / self._rate
+        else:
+            eta = float("inf")
+        event = ProgressEvent(
+            completed=self.completed,
+            total=self.total,
+            elapsed_s=now - self._begin,
+            rate_per_s=self._rate if self._rate is not None else 0.0,
+            eta_s=eta,
+            stage_means_s=(
+                tuple(stage_means.items()) if stage_means is not None else ()
+            ),
+        )
+        self._callback(event)
+        return event
+
+
+def _format_eta(eta_s: float) -> str:
+    if eta_s == float("inf"):
+        return "--"
+    if eta_s >= 3600.0:
+        return f"{eta_s / 3600.0:.1f}h"
+    if eta_s >= 60.0:
+        return f"{eta_s / 60.0:.1f}m"
+    return f"{eta_s:.0f}s"
+
+
+class StderrProgress:
+    """Rate-limited progress line writer (the provided default reporter).
+
+    Emits at most one line per ``min_interval_s`` -- except the first and
+    the final (``completed == total``) events, which always print -- so a
+    10^4-cell sweep logs a readable trickle instead of a torrent.  Pass a
+    ``stream`` to redirect (tests use ``io.StringIO``); the default is
+    ``sys.stderr``, resolved lazily at call time so pytest's capture and
+    late redirections are honoured.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval_s: float = 0.5,
+        clock=time.perf_counter,
+    ) -> None:
+        if min_interval_s < 0.0:
+            raise ValueError("min_interval_s must be non-negative")
+        self._stream = stream
+        self._min_interval = float(min_interval_s)
+        self._clock = clock
+        self._last_emit: "float | None" = None
+
+    def __call__(self, event: ProgressEvent) -> None:
+        now = self._clock()
+        final = event.total > 0 and event.completed >= event.total
+        if (
+            self._last_emit is not None
+            and not final
+            and now - self._last_emit < self._min_interval
+        ):
+            return
+        self._last_emit = now
+        stream = self._stream if self._stream is not None else sys.stderr
+        parts = [
+            f"[sweep] {event.completed}/{event.total} cells "
+            f"({event.fraction * 100.0:.0f}%)",
+            f"{event.rate_per_s:.1f} cells/s",
+            f"eta {_format_eta(event.eta_s)}",
+        ]
+        hot = [
+            f"{stage} {mean * 1e3:.2f}ms"
+            for stage, mean in event.stage_means_s
+            if mean > 0.0
+        ]
+        if hot:
+            parts.append(" ".join(hot))
+        stream.write(" | ".join(parts) + "\n")

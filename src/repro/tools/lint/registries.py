@@ -304,6 +304,25 @@ def _steering_check(key: str, value: object) -> list[str]:
     return problems
 
 
+def _exporter_check(key: str, value: object) -> list[str]:
+    from ...obs.exporters import Exporter
+
+    problems: list[str] = []
+    if not isinstance(value, Exporter):
+        problems.append(f"entry {type(value).__name__!r} is not an Exporter")
+        return problems
+    if not isinstance(getattr(value, "name", None), str):
+        problems.append("exporter .name must be a string")
+    bound = getattr(value, "render", None)
+    if not callable(bound):
+        problems.append("exporter lacks render()")
+    else:
+        problem = _callable_accepts(bound, 1)
+        if problem:
+            problems.append(f"render: {problem}")
+    return problems
+
+
 def _experiment_check(key: str, value: object) -> list[str]:
     from ...analysis.experiments import Experiment
 
@@ -320,13 +339,14 @@ def _experiment_check(key: str, value: object) -> list[str]:
 
 
 def default_registry_specs() -> list[RegistrySpec]:
-    """Specs for the six live registries of the engine."""
+    """Specs for the seven live registries of the engine."""
     from ...analysis.experiments import EXPERIMENTS  # noqa: F401 - existence
     from ...network.backends import get_backend
     from ...network.capacity import get_allocator
     from ...network.faults import get_fault_model
     from ...network.steering import get_steering_policy
     from ...network.telemetry import get_telemetry
+    from ...obs.exporters import get_exporter
 
     return [
         RegistrySpec(
@@ -369,6 +389,14 @@ def default_registry_specs() -> list[RegistrySpec]:
             declared_name=lambda key, value: getattr(value, "name", None),
             accessor=get_telemetry,
             accessor_name="get_telemetry",
+        ),
+        RegistrySpec(
+            module="repro.obs.exporters",
+            attribute="OBS_EXPORTERS",
+            entry_check=_exporter_check,
+            declared_name=lambda key, value: getattr(value, "name", None),
+            accessor=get_exporter,
+            accessor_name="get_exporter",
         ),
         RegistrySpec(
             module="repro.analysis.experiments",

@@ -1,0 +1,83 @@
+"""Tests of the OBS_EXPORTERS registry and its three renderers."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    OBS_EXPORTERS,
+    Exporter,
+    JsonExporter,
+    NullExporter,
+    RunMetrics,
+    TableExporter,
+    get_exporter,
+)
+
+
+@pytest.fixture()
+def metrics() -> RunMetrics:
+    metrics = RunMetrics()
+    metrics.record("routing", 2e-3)
+    metrics.record("allocation", 6e-3)
+    metrics.increment("steps", 3.0)
+    metrics.gauge_max("edge_list_bytes", 4096.0)
+    return metrics
+
+
+class TestRegistry:
+    def test_registry_keys_match_declared_names(self):
+        assert set(OBS_EXPORTERS) == {"json", "table", "null"}
+        for key, exporter in OBS_EXPORTERS.items():
+            assert isinstance(exporter, Exporter)
+            assert exporter.name == key
+
+    def test_get_exporter_resolves_registry_entries(self):
+        for key in OBS_EXPORTERS:
+            assert get_exporter(key) is OBS_EXPORTERS[key]
+
+    def test_get_exporter_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match=r"json.*null.*table"):
+            get_exporter("csv")
+
+
+class TestJsonExporter:
+    def test_renders_full_document(self, metrics):
+        document = json.loads(JsonExporter().render(metrics))
+        assert document["stages"]["routing"]["calls"] == 1
+        assert document["counters"] == {"steps": 3.0}
+        assert document["gauges"] == {"edge_list_bytes": 4096.0}
+
+    def test_compact_indent_off(self, metrics):
+        text = JsonExporter(indent=None).render(metrics)
+        assert "\n" not in text
+        assert json.loads(text)["counters"]["steps"] == 3.0
+
+
+class TestTableExporter:
+    def test_renders_active_stages_counters_and_gauges(self, metrics):
+        text = TableExporter().render(metrics)
+        assert "routing" in text and "allocation" in text
+        assert "snapshot" not in text  # idle stages omitted by default
+        assert "counter steps = 3" in text
+        assert "gauge edge_list_bytes = 4096" in text
+
+    def test_include_idle_lists_every_stage(self, metrics):
+        text = TableExporter(include_idle=True).render(metrics)
+        for stage in metrics.stages:
+            assert stage in text
+
+
+class TestNullExporterAndStreams:
+    def test_null_renders_empty_and_writes_nothing(self, metrics):
+        stream = io.StringIO()
+        assert NullExporter().export(metrics, stream) == ""
+        assert stream.getvalue() == ""
+
+    def test_export_writes_rendered_text_to_stream(self, metrics):
+        stream = io.StringIO()
+        text = get_exporter("table").export(metrics, stream)
+        assert stream.getvalue() == text + "\n"

@@ -1,0 +1,165 @@
+"""Tests of RunMetrics: recording, merge semantics, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    HISTOGRAM_EDGES,
+    STAGES,
+    RunMetrics,
+    combined_stage_means,
+)
+
+
+class TestRecording:
+    def test_fresh_metrics_are_zero(self):
+        metrics = RunMetrics()
+        assert metrics.stages == STAGES
+        assert metrics.stage_seconds.sum() == 0.0
+        assert metrics.stage_calls.sum() == 0
+        assert metrics.stage_histogram.sum() == 0
+        assert metrics.counters == {}
+        assert metrics.gauges == {}
+
+    def test_record_accumulates_seconds_calls_and_histogram(self):
+        metrics = RunMetrics()
+        metrics.record("routing", 1e-3)
+        metrics.record("routing", 3e-3)
+        index = metrics.stage_index("routing")
+        assert metrics.stage_seconds[index] == pytest.approx(4e-3)
+        assert metrics.stage_calls[index] == 2
+        assert metrics.stage_histogram[index].sum() == 2
+        assert metrics.total_seconds() == pytest.approx(4e-3)
+
+    def test_histogram_bins_are_edge_consistent(self):
+        metrics = RunMetrics()
+        index = metrics.stage_index("routing")
+        # Below the first edge, between two edges, above the last edge.
+        metrics.record("routing", 1e-9)
+        assert metrics.stage_histogram[index, 0] == 1
+        metrics.record("routing", float(HISTOGRAM_EDGES[3]) * 1.01)
+        assert metrics.stage_histogram[index, 4] == 1
+        metrics.record("routing", float(HISTOGRAM_EDGES[-1]) * 10.0)
+        assert metrics.stage_histogram[index, -1] == 1
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            RunMetrics().record("warp_drive", 1.0)
+
+    def test_stage_vocabulary_validated(self):
+        with pytest.raises(ValueError):
+            RunMetrics(stages=())
+        with pytest.raises(ValueError):
+            RunMetrics(stages=("a", "a"))
+
+    def test_counters_add_and_gauges_take_max(self):
+        metrics = RunMetrics()
+        metrics.increment("steps")
+        metrics.increment("steps", 2.0)
+        metrics.gauge_max("bytes", 100.0)
+        metrics.gauge_max("bytes", 40.0)
+        assert metrics.counters == {"steps": 3.0}
+        assert metrics.gauges == {"bytes": 100.0}
+
+
+class TestMerge:
+    def _sample(self, seed: int) -> RunMetrics:
+        rng = np.random.default_rng(seed)
+        metrics = RunMetrics()
+        for _ in range(50):
+            stage = STAGES[int(rng.integers(len(STAGES)))]
+            metrics.record(stage, float(rng.uniform(1e-6, 1e-1)))
+        metrics.increment("steps", float(rng.integers(1, 10)))
+        metrics.gauge_max("bytes", float(rng.integers(1, 10**6)))
+        return metrics
+
+    def test_merge_is_elementwise_exact(self):
+        a, b = self._sample(1), self._sample(2)
+        seconds = a.stage_seconds + b.stage_seconds
+        calls = a.stage_calls + b.stage_calls
+        histogram = a.stage_histogram + b.stage_histogram
+        a.merge(b)
+        assert np.array_equal(a.stage_seconds, seconds)
+        assert np.array_equal(a.stage_calls, calls)
+        assert np.array_equal(a.stage_histogram, histogram)
+
+    def test_merge_is_commutative(self):
+        left = self._sample(3)
+        left.merge(self._sample(4))
+        right = self._sample(4)
+        right.merge(self._sample(3))
+        # Addition of identical floats in either order is exact here: each
+        # accumulator sees the same two operands.
+        assert left.equals(right)
+
+    def test_chunked_merge_equals_single_stream(self):
+        # Worker-chunked accumulation must reproduce the serial aggregate:
+        # the same spans folded through any partition give equal state.
+        durations = [(STAGES[i % len(STAGES)], 10.0 ** -(i % 5)) for i in range(30)]
+        serial = RunMetrics()
+        for stage, seconds in durations:
+            serial.record(stage, seconds)
+        chunks = [RunMetrics() for _ in range(3)]
+        for i, (stage, seconds) in enumerate(durations):
+            chunks[i % 3].record(stage, seconds)
+        merged = chunks[0]
+        merged.merge(chunks[1])
+        merged.merge(chunks[2])
+        assert np.array_equal(merged.stage_calls, serial.stage_calls)
+        assert np.array_equal(merged.stage_histogram, serial.stage_histogram)
+        assert merged.stage_seconds == pytest.approx(serial.stage_seconds, abs=0.0, rel=1e-12)
+
+    def test_merge_rejects_mismatched_stages(self):
+        with pytest.raises(ValueError, match="stage vocabulary"):
+            RunMetrics().merge(RunMetrics(stages=("only",)))
+
+    def test_pickle_roundtrip_preserves_state(self):
+        metrics = self._sample(5)
+        clone = pickle.loads(pickle.dumps(metrics))
+        assert clone.equals(metrics)
+        # The clone is independent state, not a view.
+        clone.record("routing", 1.0)
+        assert not clone.equals(metrics)
+
+
+class TestSummaries:
+    def test_stage_means_and_summary(self):
+        metrics = RunMetrics()
+        metrics.record("routing", 2e-3)
+        metrics.record("routing", 4e-3)
+        metrics.record("allocation", 4e-3)
+        means = metrics.stage_means()
+        assert means["routing"] == pytest.approx(3e-3)
+        assert means["snapshot"] == 0.0
+        summary = metrics.stage_summary()
+        assert summary["routing"]["calls"] == 2
+        assert summary["routing"]["mean_ms"] == pytest.approx(3.0)
+        assert summary["routing"]["share"] == pytest.approx(0.6)
+        assert sum(row["share"] for row in summary.values()) == pytest.approx(1.0)
+
+    def test_to_dict_is_json_shaped(self):
+        metrics = RunMetrics()
+        metrics.record("routing", 1e-3)
+        metrics.increment("steps")
+        metrics.gauge_max("bytes", 7.0)
+        document = metrics.to_dict()
+        assert set(document) == {"stages", "histogram_edges_s", "counters", "gauges"}
+        assert document["stages"]["routing"]["calls"] == 1
+        assert len(document["histogram_edges_s"]) == HISTOGRAM_EDGES.size
+        assert document["counters"] == {"steps": 1.0}
+        assert document["gauges"] == {"bytes": 7.0}
+
+    def test_combined_stage_means_pools_calls(self):
+        a, b = RunMetrics(), RunMetrics()
+        a.record("routing", 1e-3)
+        b.record("routing", 3e-3)
+        b.record("routing", 3e-3)
+        means = combined_stage_means([a, b])
+        # (1 + 3 + 3) ms over 3 calls, not the mean of per-run means.
+        assert means["routing"] == pytest.approx(7e-3 / 3.0)
+        assert means["snapshot"] == 0.0
+        assert combined_stage_means([]) == {}

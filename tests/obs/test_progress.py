@@ -1,0 +1,148 @@
+"""Tests of ProgressTracker ETA math and the stderr reporter."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import ProgressEvent, ProgressTracker, StderrProgress
+
+
+class SteppedClock:
+    """Monotonic clock advanced explicitly by the test."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestProgressTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProgressTracker(total=-1, callback=lambda e: None)
+        with pytest.raises(ValueError, match="alpha"):
+            ProgressTracker(total=1, callback=lambda e: None, alpha=0.0)
+        with pytest.raises(ValueError, match="callable"):
+            ProgressTracker(total=1, callback="not-callable")
+
+    def test_constant_rate_eta(self):
+        clock = SteppedClock()
+        events: list[ProgressEvent] = []
+        tracker = ProgressTracker(total=10, callback=events.append, clock=clock)
+        for _ in range(5):
+            clock.now += 2.0  # 1 cell per 2 s, constant
+            tracker.advance(1)
+        event = events[-1]
+        assert event.completed == 5 and event.total == 10
+        assert event.rate_per_s == pytest.approx(0.5)
+        assert event.eta_s == pytest.approx(10.0)
+        assert event.fraction == pytest.approx(0.5)
+        assert event.elapsed_s == pytest.approx(10.0)
+
+    def test_ewma_smooths_rate_changes(self):
+        clock = SteppedClock()
+        events: list[ProgressEvent] = []
+        tracker = ProgressTracker(
+            total=100, callback=events.append, alpha=0.3, clock=clock
+        )
+        clock.now += 1.0
+        tracker.advance(1)  # instantaneous 1.0 cells/s seeds the EWMA
+        clock.now += 0.1
+        tracker.advance(1)  # instantaneous 10 cells/s
+        # 0.3 * 10 + 0.7 * 1 = 3.7, not the raw 10.
+        assert events[-1].rate_per_s == pytest.approx(3.7)
+
+    def test_eta_is_inf_before_any_rate_and_zero_at_completion(self):
+        clock = SteppedClock()
+        events: list[ProgressEvent] = []
+        tracker = ProgressTracker(total=2, callback=events.append, clock=clock)
+        tracker.advance(1)  # zero elapsed time: no rate yet
+        assert events[-1].rate_per_s == 0.0
+        assert events[-1].eta_s == float("inf")
+        clock.now += 1.0
+        tracker.advance(1)
+        assert events[-1].eta_s == 0.0
+        assert events[-1].fraction == pytest.approx(1.0)
+
+    def test_stage_means_ride_along(self):
+        events: list[ProgressEvent] = []
+        tracker = ProgressTracker(
+            total=1, callback=events.append, clock=SteppedClock()
+        )
+        tracker.advance(1, stage_means={"routing": 1e-3, "snapshot": 0.0})
+        assert events[-1].stage_means_s == (("routing", 1e-3), ("snapshot", 0.0))
+
+    def test_empty_sweep_fraction(self):
+        events: list[ProgressEvent] = []
+        ProgressTracker(
+            total=0, callback=events.append, clock=SteppedClock()
+        ).advance(0)
+        assert events[-1].fraction == 1.0
+        assert events[-1].eta_s == 0.0
+
+
+class TestStderrProgress:
+    def _event(self, completed: int, total: int = 10) -> ProgressEvent:
+        return ProgressEvent(
+            completed=completed,
+            total=total,
+            elapsed_s=float(completed),
+            rate_per_s=1.0,
+            eta_s=float(total - completed),
+            stage_means_s=(("routing", 2e-3),),
+        )
+
+    def test_rate_limit_keeps_first_and_final_events(self):
+        clock = SteppedClock()
+        stream = io.StringIO()
+        reporter = StderrProgress(stream=stream, min_interval_s=10.0, clock=clock)
+        for completed in range(1, 11):
+            clock.now += 0.01  # far below the interval
+            reporter(self._event(completed))
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2  # first event, final event; the rest dropped
+        assert lines[0].startswith("[sweep] 1/10")
+        assert lines[-1].startswith("[sweep] 10/10")
+
+    def test_line_format_includes_rate_eta_and_hot_stages(self):
+        stream = io.StringIO()
+        StderrProgress(stream=stream, min_interval_s=0.0, clock=SteppedClock())(
+            self._event(5)
+        )
+        line = stream.getvalue()
+        assert "[sweep] 5/10 cells (50%)" in line
+        assert "1.0 cells/s" in line
+        assert "eta 5s" in line
+        assert "routing 2.00ms" in line
+
+    def test_unknown_eta_renders_dashes(self):
+        stream = io.StringIO()
+        event = ProgressEvent(
+            completed=1, total=10, elapsed_s=0.0, rate_per_s=0.0, eta_s=float("inf")
+        )
+        StderrProgress(stream=stream, min_interval_s=0.0, clock=SteppedClock())(event)
+        assert "eta --" in stream.getvalue()
+
+    def test_hour_and_minute_eta_formatting(self):
+        stream = io.StringIO()
+        reporter = StderrProgress(stream=stream, min_interval_s=0.0, clock=SteppedClock())
+        reporter(
+            ProgressEvent(
+                completed=1, total=10, elapsed_s=0.0, rate_per_s=1.0, eta_s=7200.0
+            )
+        )
+        reporter(
+            ProgressEvent(
+                completed=2, total=10, elapsed_s=0.0, rate_per_s=1.0, eta_s=90.0
+            )
+        )
+        lines = stream.getvalue().splitlines()
+        assert "eta 2.0h" in lines[0]
+        assert "eta 1.5m" in lines[1]
+
+    def test_min_interval_validation(self):
+        with pytest.raises(ValueError):
+            StderrProgress(min_interval_s=-1.0)
