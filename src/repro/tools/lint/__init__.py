@@ -11,9 +11,23 @@ RPL002    worker-payload picklability on process-executor paths
 RPL003    shared mutable state on sweep paths; unreset caches
 RPL004    float-loop accumulation (use ``orbits.time.step_count``)
 RPL005    dataclass compare/hash hygiene (arrays, frozen specs)
+RPL006    per-flow Python loops on hot paths (use the flow engine)
+RPL007    seed provenance: every RNG seed traces to a literal,
+          spec field, or deterministic derivation (interprocedural)
+RPL008    executor races: no unlocked shared-state writes reachable
+          from submit/map sites (interprocedural)
+RPL009    merge-safety: ``merge()`` targets carry only mergeable,
+          picklable fields (no locks, handles, tracers)
 RPL10x    registry conformance (ALLOCATORS / BACKENDS /
           FAULT_MODELS / EXPERIMENTS, import-and-inspect)
 ========  =======================================================
+
+RPL007--009 ride on a shared substrate: a project import graph
+(:mod:`repro.tools.lint.importgraph`) and call-graph index
+(:mod:`repro.tools.lint.dataflow`).  Because they re-walk the whole
+tree, ``--cache`` keeps per-file fingerprints
+(:mod:`repro.tools.lint.cache`) so warm runs re-analyse only the
+import-graph cone of changed files.
 
 Run ``python -m repro.tools.lint src/repro`` (see
 ``CONTRIBUTING.md`` -- "Engine invariants") or use :func:`run_lint`
@@ -23,15 +37,20 @@ programmatically.  Inline suppression::
 """
 
 from .baseline import compare_with_baseline, load_baseline, write_baseline
+from .cache import LintCache
 from .cli import main, run_lint
 from .engine import Finding, LintRunner
+from .importgraph import ImportGraph
 from .registries import RegistrySpec, check_registries, default_registry_specs
-from .rules import RULE_CATALOGUE, all_rules
+from .rules import RULE_CATALOGUE, RULESET_VERSION, all_rules
 
 __all__ = [
     "Finding",
+    "ImportGraph",
+    "LintCache",
     "LintRunner",
     "RULE_CATALOGUE",
+    "RULESET_VERSION",
     "RegistrySpec",
     "all_rules",
     "check_registries",

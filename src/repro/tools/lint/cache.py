@@ -1,0 +1,189 @@
+"""Incremental fingerprint cache for ``repro-lint``.
+
+Project rules re-walk the whole tree, which makes every warm lint run pay
+the full parse + analysis cost even when one leaf module changed.  The
+cache cuts that to the changed module's *import-graph cone*:
+
+* each linted file is fingerprinted by the sha256 of its bytes and stores
+  its raw import statements, the files those resolved to last run, and the
+  findings that survived suppression;
+* on a warm run, **changed** files are those whose fingerprint moved (or
+  whose imports now resolve differently -- adding or deleting a module
+  re-routes edges without touching the importer's bytes);
+* **dirty** = changed plus everything that transitively imports a changed
+  file (their cross-module analyses may now differ), and the **parse set**
+  = dirty plus everything dirty imports (the context interprocedural rules
+  need).  Only the parse set is read and parsed; everything else replays
+  its cached findings verbatim.
+
+Dirty files get their findings recomputed from scratch.  Files that were
+parsed only as context keep their cached findings and gain any *novel*
+findings the fresh analysis anchored in them -- a cross-file finding that
+*disappears* can linger until the file it is anchored in (or one of its
+imports) changes.  That approximation is the price of not re-walking the
+world; ``--no-cache`` is the escape hatch and CI's scheduled runs start
+cold.
+
+The cache key ties entries to the rule-set version, the enabled codes and
+the reporting root; any mismatch discards the cache wholesale rather than
+replaying findings a different configuration produced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import Finding
+from .importgraph import RawImport
+
+__all__ = ["CacheStats", "LintCache", "file_fingerprint"]
+
+_CACHE_FORMAT = 1
+
+
+def file_fingerprint(path: Path) -> "str | None":
+    """sha256 of the file's bytes, or ``None`` if it cannot be read."""
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+@dataclass
+class CacheStats:
+    """What a run actually did -- the numbers tests and CI timing read."""
+
+    #: files handed to ast.parse this run (the cone, on a warm run)
+    parsed: int = 0
+    #: files whose findings were replayed from the cache
+    reused: int = 0
+    #: files considered in total
+    total: int = 0
+    #: files whose content or resolved imports changed
+    changed: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.parsed}/{self.total} files parsed "
+            f"({self.changed} changed, {self.reused} replayed from cache)"
+        )
+
+
+@dataclass
+class _Entry:
+    sha256: str
+    imports: list[RawImport] = field(default_factory=list)
+    resolved: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+
+class LintCache:
+    """Per-file fingerprints, imports and findings, keyed by rule-set."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.entries: dict[str, _Entry] = {}
+        self.stats = CacheStats()
+        #: True when the on-disk cache was unusable (cold start)
+        self.cold = True
+
+    # -- persistence -------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path, key: str) -> "LintCache":
+        """Load the cache at ``path``; any mismatch yields an empty cache."""
+        cache = cls(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _CACHE_FORMAT
+            or payload.get("key") != key
+        ):
+            return cache
+        files = payload.get("files")
+        if not isinstance(files, dict):
+            return cache
+        try:
+            for rel_path, raw in files.items():
+                cache.entries[rel_path] = _Entry(
+                    sha256=raw["sha256"],
+                    imports=[
+                        RawImport(name, int(level))
+                        for name, level in raw.get("imports", [])
+                    ],
+                    resolved=list(raw.get("resolved", [])),
+                    findings=[
+                        Finding(
+                            rule=item["rule"],
+                            path=rel_path,
+                            line=int(item["line"]),
+                            message=item["message"],
+                            symbol=item.get("symbol", ""),
+                        )
+                        for item in raw.get("findings", [])
+                    ],
+                )
+        except (KeyError, TypeError, ValueError):
+            return cls(key)
+        cache.cold = False
+        return cache
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": _CACHE_FORMAT,
+            "key": self.key,
+            "files": {
+                rel_path: {
+                    "sha256": entry.sha256,
+                    "imports": [
+                        [raw.name, raw.level] for raw in entry.imports
+                    ],
+                    "resolved": sorted(entry.resolved),
+                    "findings": [
+                        {
+                            "rule": finding.rule,
+                            "line": finding.line,
+                            "message": finding.message,
+                            "symbol": finding.symbol,
+                        }
+                        for finding in entry.findings
+                    ],
+                }
+                for rel_path, entry in sorted(self.entries.items())
+            },
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def update(
+        self,
+        rel_path: str,
+        sha256: str,
+        imports: list[RawImport],
+        resolved: list[str],
+        findings: list[Finding],
+    ) -> None:
+        self.entries[rel_path] = _Entry(
+            sha256=sha256,
+            imports=list(imports),
+            resolved=sorted(resolved),
+            findings=sorted(
+                findings, key=lambda f: (f.line, f.rule, f.message)
+            ),
+        )
+
+    def prune(self, live: set[str]) -> None:
+        """Drop entries for files no longer in the linted set."""
+        for rel_path in list(self.entries):
+            if rel_path not in live:
+                del self.entries[rel_path]

@@ -6,6 +6,7 @@ Typical invocations::
     python -m repro.tools.lint src tests benchmarks --format=json
     python -m repro.tools.lint src --select RPL001,RPL004
     python -m repro.tools.lint src tests benchmarks --write-baseline
+    python -m repro.tools.lint src tests benchmarks --cache   # warm runs
 
 When ``lint-baseline.json`` exists in the working directory (or is named
 via ``--baseline``) the run compares against it: findings covered by the
@@ -13,6 +14,12 @@ baseline are allowed, new findings fail, and stale baseline entries --
 violations that have since been fixed -- fail as well so the baseline
 shrinks monotonically.  Exit codes: 0 clean, 1 findings/new findings or
 stale entries, 2 usage error.
+
+``--cache`` keeps a fingerprint cache (default ``.repro-lint-cache.json``)
+so warm runs re-analyse only the import-graph cone of changed files; the
+cache is keyed by rule-set version and enabled codes, and ``--no-cache``
+forces a full run.  A timing line with the parse/replay split goes to
+stderr either way.
 """
 
 from __future__ import annotations
@@ -20,16 +27,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from .baseline import compare_with_baseline, load_baseline, write_baseline
+from .cache import LintCache
 from .engine import Finding, LintRunner
 from .registries import check_registries
-from .rules import all_rules
+from .rules import RULESET_VERSION, all_rules
 
 __all__ = ["main", "run_lint"]
 
 DEFAULT_BASELINE = "lint-baseline.json"
+DEFAULT_CACHE = ".repro-lint-cache.json"
 
 
 def _parse_codes(value: "str | None") -> "set[str] | None":
@@ -58,8 +68,13 @@ def run_lint(
     ignore: "set[str] | None" = None,
     registries: bool = True,
     root: "Path | None" = None,
+    cache: "LintCache | None" = None,
 ) -> list[Finding]:
-    """Programmatic entry point: lint ``paths`` and return the findings."""
+    """Programmatic entry point: lint ``paths`` and return the findings.
+
+    Registry findings (``RPL1xx``) come from importing live code and are
+    never cached; when a ``cache`` is given only the AST layers use it.
+    """
     module_rules, project_rules = all_rules()
     enabled = _enabled_predicate(select, ignore)
     runner = LintRunner(
@@ -67,7 +82,7 @@ def run_lint(
         project_rules=[rule for rule in project_rules if enabled(rule.code)],
         root=root if root is not None else Path.cwd(),
     )
-    findings = runner.run(paths)
+    findings = runner.run(paths, cache=cache)
     if registries:
         findings.extend(
             finding
@@ -77,10 +92,27 @@ def run_lint(
     return findings
 
 
+def cache_key(
+    select: "set[str] | None",
+    ignore: "set[str] | None",
+    root: Path,
+) -> str:
+    """Cache identity: rule-set version + enabled codes + reporting root."""
+    module_rules, project_rules = all_rules()
+    enabled = _enabled_predicate(select, ignore)
+    codes = sorted(
+        rule.code
+        for rule in [*module_rules, *project_rules]
+        if enabled(rule.code)
+    )
+    return f"{RULESET_VERSION}|{','.join(codes)}|{root}"
+
+
 def _render_text(
     findings: list[Finding],
     comparison,
     stream,
+    paths: "list[str] | None" = None,
 ) -> None:
     if comparison is None:
         for finding in findings:
@@ -101,9 +133,24 @@ def _render_text(
         f"{len(comparison.stale)} stale baseline entr(y/ies)",
         file=stream,
     )
+    if comparison.stale and paths:
+        shrunk = len(comparison.matched) + len(comparison.new)
+        print(
+            "baseline is stale; regenerate it with:\n"
+            f"    python -m repro.tools.lint {' '.join(paths)} "
+            "--write-baseline\n"
+            f"(the rewritten baseline would hold {shrunk} entr(y/ies), "
+            f"down by {len(comparison.stale)})",
+            file=stream,
+        )
 
 
-def _render_json(findings: list[Finding], comparison, stream) -> None:
+def _render_json(
+    findings: list[Finding],
+    comparison,
+    stream,
+    paths: "list[str] | None" = None,
+) -> None:
     def records(items: list[Finding]) -> list[dict]:
         return [
             {
@@ -128,13 +175,54 @@ def _render_json(findings: list[Finding], comparison, stream) -> None:
     stream.write("\n")
 
 
+def _render_github(
+    findings: list[Finding],
+    comparison,
+    stream,
+    paths: "list[str] | None" = None,
+) -> None:
+    """GitHub Actions workflow commands: findings annotate the PR diff."""
+
+    def annotate(finding: Finding, kind: str = "error") -> None:
+        # Newlines and '::' would terminate the workflow command early.
+        message = finding.message.replace("\n", " ").replace("::", ":")
+        print(
+            f"::{kind} file={finding.path},line={finding.line},"
+            f"title=repro-lint {finding.rule}::{message}",
+            file=stream,
+        )
+
+    reported = comparison.new if comparison is not None else findings
+    for finding in reported:
+        annotate(finding)
+    if comparison is not None:
+        for entry in comparison.stale:
+            message = entry.message.replace("\n", " ").replace("::", ":")
+            print(
+                f"::warning title=repro-lint stale baseline::{entry.path}: "
+                f"{entry.rule}: {message} -- regenerate with --write-baseline",
+                file=stream,
+            )
+    # The human-readable summary still goes to the job log.
+    _render_text(findings, comparison, stream, paths)
+
+
+_RENDERERS = {
+    "text": _render_text,
+    "json": _render_json,
+    "github": _render_github,
+}
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
             "AST-based invariant checker for the repro engine: determinism, "
             "worker-payload picklability, shared-state, float-loop and "
-            "dataclass-hygiene rules plus live registry conformance."
+            "dataclass-hygiene rules, interprocedural seed-provenance / "
+            "executor-race / merge-safety analyses, plus live registry "
+            "conformance."
         ),
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
@@ -148,7 +236,7 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=tuple(_RENDERERS),
         default="text",
         help="output format (default: text)",
     )
@@ -174,19 +262,67 @@ def main(argv: "list[str] | None" = None) -> int:
         action="store_true",
         help="skip the import-and-inspect registry conformance layer",
     )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE,
+        default=None,
+        metavar="PATH",
+        help=(
+            "use an incremental fingerprint cache (default path: "
+            f"{DEFAULT_CACHE}); warm runs re-analyse only the import-graph "
+            "cone of changed files"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force a full run even when --cache is given",
+    )
     args = parser.parse_args(argv)
 
     select = _parse_codes(args.select)
     ignore = _parse_codes(args.ignore)
     registries = not args.no_registries
+    root = Path.cwd()
 
+    cache: "LintCache | None" = None
+    cache_path: "Path | None" = None
+    if args.cache is not None and not args.no_cache:
+        cache_path = Path(args.cache)
+        cache = LintCache.load(cache_path, cache_key(select, ignore, root))
+
+    started = time.monotonic()
     try:
         findings = run_lint(
-            args.paths, select=select, ignore=ignore, registries=registries
+            args.paths,
+            select=select,
+            ignore=ignore,
+            registries=registries,
+            cache=cache,
         )
     except FileNotFoundError as error:
         print(f"repro-lint: error: {error}", file=sys.stderr)
         return 2
+    elapsed = time.monotonic() - started
+
+    if cache is not None and cache_path is not None:
+        try:
+            cache.save(cache_path)
+        except OSError as error:
+            print(
+                f"repro-lint: warning: could not save cache "
+                f"{cache_path}: {error}",
+                file=sys.stderr,
+            )
+        print(
+            f"repro-lint: {elapsed:.2f}s "
+            f"({'cold' if cache.cold else 'warm'} cache: "
+            f"{cache.stats.describe()})",
+            file=sys.stderr,
+        )
+    else:
+        print(f"repro-lint: {elapsed:.2f}s (no cache)", file=sys.stderr)
 
     baseline_path: "Path | None" = None
     if args.write_baseline or not args.no_baseline:
@@ -231,8 +367,8 @@ def main(argv: "list[str] | None" = None) -> int:
             enabled=_enabled_predicate(select, ignore),
         )
 
-    render = _render_json if args.format == "json" else _render_text
-    render(findings, comparison, sys.stdout)
+    render = _RENDERERS[args.format]
+    render(findings, comparison, sys.stdout, paths=list(args.paths))
     if comparison is not None:
         return 0 if comparison.clean else 1
     return 0 if not findings else 1

@@ -4,6 +4,10 @@
 import-and-inspect registry conformance checks
 (:mod:`repro.tools.lint.registries`).  ``RPL000`` (unused suppression) and
 ``RPL099`` (unparsable module) are engine-level and always active.
+
+``RULESET_VERSION`` feeds the incremental cache key: bump it whenever a
+rule's behaviour changes so stale cached findings are discarded rather
+than replayed.
 """
 
 from __future__ import annotations
@@ -11,12 +15,18 @@ from __future__ import annotations
 from .dataclass_hygiene import DataclassHygieneRule
 from .determinism import DeterminismRule
 from .engine import ModuleRule, ProjectRule
+from .executor_races import ExecutorRaceRule
 from .float_loops import FloatLoopRule
+from .merge_safety import MergeSafetyRule
 from .perflow import PerFlowLoopRule
 from .picklability import PicklabilityRule
+from .seed_provenance import SeedProvenanceRule
 from .shared_state import SharedStateRule
 
-__all__ = ["all_rules", "RULE_CATALOGUE"]
+__all__ = ["all_rules", "RULE_CATALOGUE", "RULESET_VERSION"]
+
+#: Bump on any rule behaviour change; part of the lint cache key.
+RULESET_VERSION = "2026.08-rpl009"
 
 #: code -> one-line description, for --help style listings and docs.
 RULE_CATALOGUE: dict[str, str] = {
@@ -27,6 +37,9 @@ RULE_CATALOGUE: dict[str, str] = {
     "RPL004": FloatLoopRule.description,
     "RPL005": DataclassHygieneRule.description,
     "RPL006": PerFlowLoopRule.description,
+    "RPL007": SeedProvenanceRule.description,
+    "RPL008": ExecutorRaceRule.description,
+    "RPL009": MergeSafetyRule.description,
     "RPL099": "module could not be parsed",
     "RPL100": "registry entry fails to import or resolve",
     "RPL101": "registry entry does not satisfy its protocol",
@@ -42,9 +55,12 @@ def all_rules() -> "tuple[list[ModuleRule], list[ProjectRule]]":
         FloatLoopRule(),
         DataclassHygieneRule(),
         PerFlowLoopRule(),
+        MergeSafetyRule(),
     ]
     project_rules: list[ProjectRule] = [
         PicklabilityRule(),
         SharedStateRule(),
+        SeedProvenanceRule(),
+        ExecutorRaceRule(),
     ]
     return module_rules, project_rules

@@ -1,0 +1,567 @@
+"""RPL007 -- interprocedural seed provenance for RNG constructors.
+
+RPL001 flags an *unseeded* ``default_rng()``; this rule asks the harder
+question about the seeds that **are** passed: does the value actually
+derive from deterministic configuration?  The reproduction's bit-identity
+guarantee only holds when every RNG stream is keyed by a
+:class:`Scenario`/``FaultSpec``-style declarative input, never by the
+machine the sweep happens to run on.
+
+For every ``numpy.random.default_rng(x)`` / ``RandomState(x)`` call the
+seed expression is traced through the project:
+
+* **downward** through local assignments, ``self``-attribute assignments
+  in the enclosing class, and the return expressions of called project
+  functions;
+* **upward** through the reverse call graph: a seed that is a bare
+  function parameter is resolved at every call site that reaches the
+  function -- including ``pool.submit(worker, ...)`` argument bindings,
+  so a wall-clock seed three frames above the executor boundary is still
+  caught.
+
+Trusted provenance terminals (the walk stops, satisfied):
+
+* literals, and arithmetic / ``int()`` / ``hash()`` derivations of them;
+* reads of ``seed`` / ``rng_seed`` / ``_seed`` / ``params`` attributes
+  (the dataclass-spec idiom) and ``mapping.get("seed", default)``;
+* draws from an RNG that is itself provably seeded.
+
+Flagged origins:
+
+* wall clocks (``time.time``/``time_ns``/``monotonic``/``perf_counter``,
+  ``datetime.now``/``utcnow``, ``os.urandom``, ``uuid.uuid4``,
+  ``secrets.*``), ``os.getpid`` and ``id()``;
+* draws from an *unseeded* RNG;
+* a bare function parameter no linted caller ever feeds (the function's
+  contract admits a nondeterministic seed) -- unless the parameter has a
+  literal default, or the function is a test (pytest injects
+  parametrize/fixture values, which live in code and are deterministic).
+
+Findings anchor at the *origin* (the wall-clock call, the unseeded
+caller) rather than the sink, so suppressions stay local to the code at
+fault.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .astutil import dotted_chain, resolve_call_target
+from .dataflow import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    bind_arguments,
+)
+from .engine import DataflowRule, Finding
+
+__all__ = ["SeedProvenanceRule"]
+
+_RNG_CONSTRUCTORS = {"numpy.random.default_rng", "numpy.random.RandomState"}
+
+_WALL_CLOCKS = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.monotonic_ns": "time.monotonic_ns()",
+    "time.perf_counter": "time.perf_counter()",
+    "time.perf_counter_ns": "time.perf_counter_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.now": "datetime.now()",
+    "datetime.utcnow": "datetime.utcnow()",
+    "os.urandom": "os.urandom()",
+    "os.getpid": "os.getpid()",
+    "uuid.uuid4": "uuid.uuid4()",
+    "uuid.uuid1": "uuid.uuid1()",
+    "secrets.token_bytes": "secrets.token_bytes()",
+    "secrets.randbits": "secrets.randbits()",
+}
+
+#: Attribute names trusted as declarative seed storage.
+_SEED_ATTRS = {"seed", "rng_seed", "_seed", "_rng_seed", "params"}
+
+#: Pure derivations: classification descends into the arguments.
+_PURE_CALLS = {"int", "float", "abs", "round", "min", "max", "sum", "hash", "len"}
+
+_MAX_DEPTH = 12
+
+
+class _Trace:
+    """Mutable state of one sink's provenance walk."""
+
+    __slots__ = ("bads", "visited", "sink_desc")
+
+    def __init__(self, sink_desc: str):
+        #: (module, node, reason, chain) tuples for flagged origins.
+        self.bads: list[tuple[ModuleInfo, ast.AST, str, tuple[str, ...]]] = []
+        #: (module, qualname, param) frames already being traced upward.
+        self.visited: set[tuple[str, str, str]] = set()
+        self.sink_desc = sink_desc
+
+
+class SeedProvenanceRule(DataflowRule):
+    code = "RPL007"
+    name = "seed-provenance"
+    description = (
+        "RNG seeds must trace back to literals, spec fields or "
+        "deterministic derivations -- never wall clocks, id() or "
+        "unseeded callers"
+    )
+
+    def check_dataflow(self, project: Project) -> Iterator[Finding]:
+        seen: set[tuple[str, int, str]] = set()
+        for module, function, call, seed in _iter_sinks(project):
+            desc = _call_text(call)
+            trace = _Trace(desc)
+            self._classify(project, module, function, seed, trace, (), 0)
+            for bad_module, node, reason, chain in trace.bads:
+                via = f" (via {' -> '.join(chain)})" if chain else ""
+                finding = bad_module.source.finding(
+                    self.code,
+                    node,
+                    f"seed for {desc} derives from {reason}{via}; derive "
+                    "seeds from scenario/spec fields or literals",
+                )
+                key = (finding.path, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    # -- classification ----------------------------------------------------------
+
+    def _classify(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: "FunctionInfo | None",
+        expr: "ast.AST | None",
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        """Record BAD origins of ``expr``; silence means deterministic."""
+        if expr is None or depth > _MAX_DEPTH:
+            return
+        if isinstance(expr, ast.Constant):
+            return
+        if isinstance(expr, ast.Call):
+            self._classify_call(
+                project, module, function, expr, trace, chain, depth
+            )
+            return
+        if isinstance(expr, ast.Attribute):
+            self._classify_attribute(
+                project, module, function, expr, trace, chain, depth
+            )
+            return
+        if isinstance(expr, ast.Name):
+            self._classify_name(
+                project, module, function, expr, trace, chain, depth
+            )
+            return
+        if isinstance(expr, ast.BinOp):
+            self._classify(
+                project, module, function, expr.left, trace, chain, depth + 1
+            )
+            self._classify(
+                project, module, function, expr.right, trace, chain, depth + 1
+            )
+            return
+        if isinstance(expr, ast.UnaryOp):
+            self._classify(
+                project, module, function, expr.operand, trace, chain, depth + 1
+            )
+            return
+        if isinstance(expr, ast.IfExp):
+            for branch in (expr.body, expr.orelse):
+                self._classify(
+                    project, module, function, branch, trace, chain, depth + 1
+                )
+            return
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                self._classify(
+                    project, module, function, element, trace, chain, depth + 1
+                )
+            return
+        if isinstance(expr, ast.Subscript):
+            self._classify(
+                project, module, function, expr.value, trace, chain, depth + 1
+            )
+            return
+        if isinstance(expr, ast.Starred):
+            self._classify(
+                project, module, function, expr.value, trace, chain, depth + 1
+            )
+            return
+        # Comparisons, f-strings, comprehensions...: optimistic.
+
+    def _classify_call(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: "FunctionInfo | None",
+        call: ast.Call,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        target = resolve_call_target(call.func, module.imports)
+        if target in _WALL_CLOCKS:
+            trace.bads.append(
+                (module, call, f"the wall clock ({_WALL_CLOCKS[target]})", chain)
+            )
+            return
+        if target in _RNG_CONSTRUCTORS and _is_unseeded(call):
+            trace.bads.append((module, call, "an unseeded RNG", chain))
+            return
+        if isinstance(call.func, ast.Name):
+            if call.func.id == "id":
+                trace.bads.append(
+                    (module, call, "id(), which varies per process", chain)
+                )
+                return
+            if call.func.id in _PURE_CALLS:
+                for arg in call.args:
+                    self._classify(
+                        project, module, function, arg, trace, chain, depth + 1
+                    )
+                return
+            # Project function call: classify its return expressions.
+            resolved = project.resolve_name(module, call.func.id)
+            if resolved is not None and resolved[0] == "function":
+                callee = resolved[1].functions[resolved[2]]
+                self._classify_returns(
+                    project, resolved[1], callee, call, trace, chain, depth
+                )
+            return
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr == "get" and call.args:
+                key = call.args[0]
+                if isinstance(key, ast.Constant) and key.value in (
+                    "seed",
+                    "rng_seed",
+                ):
+                    # ``params.get("seed", default)``: the spec-mapping
+                    # idiom; the default participates in the provenance.
+                    if len(call.args) > 1:
+                        self._classify(
+                            project,
+                            module,
+                            function,
+                            call.args[1],
+                            trace,
+                            chain,
+                            depth + 1,
+                        )
+                    return
+            # A draw from an RNG is as deterministic as the RNG itself.
+            if isinstance(call.func.value, (ast.Name, ast.Call, ast.Attribute)):
+                self._classify(
+                    project,
+                    module,
+                    function,
+                    call.func.value,
+                    trace,
+                    chain,
+                    depth + 1,
+                )
+
+    def _classify_returns(
+        self,
+        project: Project,
+        callee_module: ModuleInfo,
+        callee: FunctionInfo,
+        call: ast.Call,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        """Classify what a called project function returns.
+
+        Parameters of the callee that surface in its returns are resolved
+        against *this* call's arguments (not the whole caller index).
+        """
+        binding = bind_arguments(callee, call, bound_receiver=False)
+        for node in ast.walk(callee.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for name in _free_params(node.value, callee):
+                    self._classify(
+                        project,
+                        callee_module,
+                        None,
+                        binding.get(name),
+                        trace,
+                        chain + (callee.qualname,),
+                        depth + 1,
+                    )
+                self._classify_skipping_params(
+                    project,
+                    callee_module,
+                    callee,
+                    node.value,
+                    trace,
+                    chain + (callee.qualname,),
+                    depth + 1,
+                )
+
+    def _classify_skipping_params(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        expr: ast.AST,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        """Classify ``expr`` but leave bare parameter reads to the caller."""
+        params = set(function.params)
+        if isinstance(expr, ast.Name) and expr.id in params:
+            return  # handled via the explicit binding
+        self._classify(project, module, function, expr, trace, chain, depth)
+
+    def _classify_attribute(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: "FunctionInfo | None",
+        expr: ast.Attribute,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        if expr.attr in _SEED_ATTRS:
+            return
+        parts = dotted_chain(expr)
+        if (
+            parts
+            and parts[0] == "self"
+            and len(parts) == 2
+            and function is not None
+            and function.class_name is not None
+        ):
+            class_info = project.modules[function.module].classes.get(
+                function.class_name
+            )
+            if class_info is not None:
+                for method in class_info.methods.values():
+                    for node in ast.walk(method.node):
+                        if isinstance(node, ast.Assign) and any(
+                            isinstance(t, ast.Attribute)
+                            and t.attr == expr.attr
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                            for t in node.targets
+                        ):
+                            self._classify(
+                                project,
+                                project.modules[function.module],
+                                method,
+                                node.value,
+                                trace,
+                                chain,
+                                depth + 1,
+                            )
+        # Other attribute reads: optimistic.
+
+    def _classify_name(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: "FunctionInfo | None",
+        expr: ast.Name,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        name = expr.id
+        if function is not None:
+            assignments = _assignments_of(function.node, name)
+            if assignments:
+                for value in assignments:
+                    self._classify(
+                        project, module, function, value, trace, chain, depth + 1
+                    )
+                return
+            if name in function.params:
+                self._trace_parameter(
+                    project, module, function, name, expr, trace, chain, depth
+                )
+                return
+        # Module-level assignment?
+        for statement in module.source.tree.body:
+            if isinstance(statement, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in statement.targets
+            ):
+                self._classify(
+                    project, module, None, statement.value, trace, chain, depth + 1
+                )
+                return
+        # Unresolvable (builtin, import, comprehension target): optimistic.
+
+    # -- upward parameter trace --------------------------------------------------
+
+    def _trace_parameter(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        function: FunctionInfo,
+        param: str,
+        site: ast.AST,
+        trace: _Trace,
+        chain: tuple[str, ...],
+        depth: int,
+    ) -> None:
+        key = (function.module, function.qualname, param)
+        if key in trace.visited or depth > _MAX_DEPTH:
+            return
+        trace.visited.add(key)
+        callers = [
+            caller
+            for caller in project.callers_of(function)
+            if bind_arguments(function, caller.node, caller.bound_receiver).get(
+                param
+            )
+            is not None
+        ]
+        if not callers:
+            if function.param_default(param) is not None:
+                self._classify(
+                    project,
+                    module,
+                    None,
+                    function.param_default(param),
+                    trace,
+                    chain,
+                    depth + 1,
+                )
+                return
+            if _is_test_function(function):
+                return  # pytest feeds parametrize/fixture values from code
+            trace.bads.append(
+                (
+                    module,
+                    site,
+                    f"bare parameter {param!r} of {function.qualname}() "
+                    "with no seeded caller",
+                    chain,
+                )
+            )
+            return
+        for caller in callers:
+            binding = bind_arguments(
+                function, caller.node, caller.bound_receiver
+            )
+            bound = binding.get(param)
+            if caller.via_map and not isinstance(
+                bound, (ast.Tuple, ast.List, ast.Set)
+            ):
+                # ``pool.map(f, iterable)``: the binding is the whole
+                # iterable, not one item -- only literal containers can be
+                # traced element-wise; anything else stays optimistic.
+                continue
+            self._classify(
+                project,
+                caller.module,
+                caller.caller,
+                bound,
+                trace,
+                chain + (function.qualname,),
+                depth + 1,
+            )
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _iter_sinks(
+    project: Project,
+) -> Iterator[tuple[ModuleInfo, "FunctionInfo | None", ast.Call, ast.AST]]:
+    """Every seeded RNG constructor call and its seed expression.
+
+    Unseeded constructors (no argument, or an explicit ``None``) are
+    RPL001's domain and are skipped here.
+    """
+    from .dataflow import _iter_calls
+
+    for rel_path in sorted(project.modules):
+        module = project.modules[rel_path]
+        for enclosing, call in _iter_calls(module.source.tree, module):
+            target = resolve_call_target(call.func, module.imports)
+            if target not in _RNG_CONSTRUCTORS or _is_unseeded(call):
+                continue
+            seed = call.args[0] if call.args else None
+            if seed is None:
+                for keyword in call.keywords:
+                    if keyword.arg == "seed":
+                        seed = keyword.value
+            if seed is not None:
+                yield module, enclosing, call, seed
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    if not call.args and not call.keywords:
+        return True
+    first = call.args[0] if call.args else None
+    if first is None:
+        seeds = [k.value for k in call.keywords if k.arg == "seed"]
+        first = seeds[0] if seeds else None
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+def _assignments_of(function: ast.AST, name: str) -> list[ast.AST]:
+    """Every expression assigned to local ``name`` inside ``function``."""
+    values: list[ast.AST] = []
+    for node in ast.walk(function):
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(t, ast.Name) and t.id == name for t in node.targets
+            ):
+                values.append(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                values.append(node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                values.append(node.value)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                values.append(node.value)
+    return values
+
+
+def _free_params(expr: ast.AST, function: FunctionInfo) -> list[str]:
+    """Parameters of ``function`` read inside ``expr``."""
+    params = set(function.params)
+    return sorted(
+        {
+            node.id
+            for node in ast.walk(expr)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in params
+        }
+    )
+
+
+def _is_test_function(function: FunctionInfo) -> bool:
+    if function.name.startswith("test_"):
+        return True
+    for decorator in function.node.decorator_list:
+        for node in ast.walk(decorator):
+            if isinstance(node, ast.Attribute) and node.attr == "parametrize":
+                return True
+            if isinstance(node, ast.Name) and node.id == "fixture":
+                return True
+    return False
+
+
+def _call_text(call: ast.Call) -> str:
+    chain = dotted_chain(call.func)
+    return f"{'.'.join(chain) if chain else 'rng constructor'}(...)"

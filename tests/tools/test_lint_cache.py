@@ -1,0 +1,428 @@
+"""Tests of the incremental lint cache and the RPL099 coverage fixes.
+
+The contract under test: a warm run parses nothing when nothing changed,
+parses exactly the changed file's import-graph cone when one file
+changed (asserted via the cache's parse counter), produces the same
+findings a cold run would, and discards itself wholesale on a key
+mismatch.  Unreadable paths surface as RPL099 instead of silently
+shrinking coverage.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.tools.lint import Finding, LintCache, LintRunner, all_rules, main
+import repro.tools.lint.engine as engine_module
+
+CACHE_KEY = "test-rules|ALL|root"
+
+
+def write_tree(tmp_path: Path, sources: dict[str, str]) -> None:
+    for rel_path, source in sources.items():
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def make_runner(tmp_path: Path) -> LintRunner:
+    module_rules, project_rules = all_rules()
+    return LintRunner(
+        module_rules=module_rules, project_rules=project_rules, root=tmp_path
+    )
+
+
+CHAIN = {
+    # a -> b -> c, d independent: c's cone is {a, b, c}.
+    "pkg/a.py": """
+    from pkg.b import middle
+
+
+    def top():
+        return middle() + 1
+    """,
+    "pkg/b.py": """
+    from pkg.c import leaf
+
+
+    def middle():
+        return leaf() + 1
+    """,
+    "pkg/c.py": """
+    def leaf():
+        return 1
+    """,
+    "pkg/d.py": """
+    def independent():
+        return 4
+    """,
+}
+
+
+class TestIncrementalRuns:
+    def test_cold_then_warm_then_leaf_cone(self, tmp_path):
+        write_tree(tmp_path, CHAIN)
+        runner = make_runner(tmp_path)
+
+        cache = LintCache(CACHE_KEY)
+        assert runner.run([tmp_path], cache=cache) == []
+        assert cache.stats.parsed == 4  # cold: everything
+
+        cache.stats = type(cache.stats)()
+        assert runner.run([tmp_path], cache=cache) == []
+        assert cache.stats.parsed == 0  # warm, untouched: nothing
+
+        # Touching the leaf re-parses exactly its import-graph cone:
+        # c itself plus its transitive importers b and a -- never d.
+        (tmp_path / "pkg" / "c.py").write_text(
+            "def leaf():\n    return 2\n", encoding="utf-8"
+        )
+        cache.stats = type(cache.stats)()
+        assert runner.run([tmp_path], cache=cache) == []
+        assert cache.stats.parsed == 3
+        assert cache.stats.changed == 1
+        assert cache.stats.reused == 1  # d.py replayed
+
+    def test_warm_findings_match_cold_findings(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/lib.py": """
+                import time
+
+
+                def helper():
+                    return int(time.time())
+                """,
+                "pkg/app.py": """
+                from pkg.lib import helper
+
+                from numpy.random import default_rng
+
+
+                def worker():
+                    return default_rng(helper()).random()
+                """,
+            },
+        )
+        runner = make_runner(tmp_path)
+        cold = runner.run([tmp_path])
+        assert {finding.rule for finding in cold} == {"RPL001", "RPL007"}
+
+        cache = LintCache(CACHE_KEY)
+        assert runner.run([tmp_path], cache=cache) == cold
+        # Warm replay, nothing touched: same findings, zero parses.
+        cache.stats = type(cache.stats)()
+        assert runner.run([tmp_path], cache=cache) == cold
+        assert cache.stats.parsed == 0
+
+    def test_transitive_import_edit_invalidates_dependents(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/lib.py": """
+                import time
+
+
+                def helper():
+                    return int(time.time())
+                """,
+                "pkg/app.py": """
+                from pkg.lib import helper
+
+                from numpy.random import default_rng
+
+
+                def worker():
+                    return default_rng(helper()).random()
+                """,
+            },
+        )
+        runner = make_runner(tmp_path)
+        cache = LintCache(CACHE_KEY)
+        first = runner.run([tmp_path], cache=cache)
+        assert any(finding.rule == "RPL007" for finding in first)
+
+        # Fixing the helper must clear the interprocedural finding even
+        # though the sink module app.py itself never changed.
+        (tmp_path / "pkg" / "lib.py").write_text(
+            "def helper():\n    return 42\n", encoding="utf-8"
+        )
+        cache.stats = type(cache.stats)()
+        second = runner.run([tmp_path], cache=cache)
+        assert second == []
+        assert cache.stats.parsed == 2  # lib + its dependent app
+
+        # ...and re-breaking it brings the finding back on a warm cache.
+        write_tree(
+            tmp_path,
+            {
+                "pkg/lib.py": """
+                import time
+
+
+                def helper():
+                    return int(time.time())
+                """
+            },
+        )
+        third = runner.run([tmp_path], cache=cache)
+        assert any(finding.rule == "RPL007" for finding in third)
+
+    def test_new_module_rewires_edges_without_touching_importer(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/app.py": """
+                from pkg.util import helper
+
+
+                def top():
+                    return helper()
+                """,
+            },
+        )
+        runner = make_runner(tmp_path)
+        cache = LintCache(CACHE_KEY)
+        runner.run([tmp_path], cache=cache)
+
+        # A new module satisfies app.py's import: app.py's bytes did not
+        # change, but its resolved edges did, so it must be re-analysed.
+        write_tree(
+            tmp_path,
+            {
+                "pkg/util.py": """
+                def helper():
+                    return 7
+                """
+            },
+        )
+        cache.stats = type(cache.stats)()
+        runner.run([tmp_path], cache=cache)
+        assert cache.stats.parsed == 2
+        assert cache.stats.changed == 2  # util (new) + app (edge drift)
+
+    def test_key_mismatch_discards_the_cache(self, tmp_path):
+        write_tree(tmp_path, {"pkg/a.py": "def f():\n    return 1\n"})
+        runner = make_runner(tmp_path)
+        cache = LintCache("rules-v1")
+        runner.run([tmp_path], cache=cache)
+        cache_path = tmp_path / "cache.json"
+        cache.save(cache_path)
+
+        same = LintCache.load(cache_path, "rules-v1")
+        assert not same.cold and same.entries
+
+        other = LintCache.load(cache_path, "rules-v2")
+        assert other.cold and not other.entries
+
+    def test_save_load_round_trip_preserves_findings(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/noisy.py": """
+                import time
+
+
+                def stamp():
+                    return time.time()
+                """
+            },
+        )
+        runner = make_runner(tmp_path)
+        cache = LintCache(CACHE_KEY)
+        first = runner.run([tmp_path], cache=cache)
+        assert [finding.rule for finding in first] == ["RPL001"]
+        cache_path = tmp_path / "cache.json"
+        cache.save(cache_path)
+
+        revived = LintCache.load(cache_path, CACHE_KEY)
+        revived.stats = type(revived.stats)()
+        second = runner.run([tmp_path], cache=revived)
+        assert second == first
+        assert revived.stats.parsed == 0
+
+    def test_deleted_file_is_pruned(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/keep.py": "def f():\n    return 1\n",
+                "pkg/gone.py": "def g():\n    return 2\n",
+            },
+        )
+        runner = make_runner(tmp_path)
+        cache = LintCache(CACHE_KEY)
+        runner.run([tmp_path], cache=cache)
+        assert "pkg/gone.py" in cache.entries
+
+        (tmp_path / "pkg" / "gone.py").unlink()
+        runner.run([tmp_path], cache=cache)
+        assert "pkg/gone.py" not in cache.entries
+
+
+class TestUnreadablePaths:
+    def test_undecodable_file_is_a_parse_error_finding(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "binary.py").write_bytes(b"\xff\xfe\x00junk")
+        runner = make_runner(tmp_path)
+        findings = runner.run([tmp_path])
+        assert [finding.rule for finding in findings] == ["RPL099"]
+        assert findings[0].path == "pkg/binary.py"
+
+    def test_permission_denied_file_is_a_parse_error_finding(
+        self, tmp_path, monkeypatch
+    ):
+        write_tree(
+            tmp_path,
+            {
+                "pkg/open.py": "def f():\n    return 1\n",
+                "pkg/locked.py": "def g():\n    return 2\n",
+            },
+        )
+        real_read_text = Path.read_text
+
+        def read_text(self, *args, **kwargs):
+            # The suite runs as root, where chmod 000 still reads fine;
+            # simulate the EACCES the engine must surface.
+            if self.name == "locked.py":
+                raise PermissionError(13, "Permission denied", str(self))
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", read_text)
+        runner = make_runner(tmp_path)
+        findings = runner.run([tmp_path])
+        assert [finding.rule for finding in findings] == ["RPL099"]
+        assert findings[0].path == "pkg/locked.py"
+        assert "Permission denied" in findings[0].message
+
+    def test_unlistable_directory_is_a_parse_error_finding(
+        self, tmp_path, monkeypatch
+    ):
+        write_tree(tmp_path, {"pkg/mod.py": "def f():\n    return 1\n"})
+        real_walk = engine_module.os.walk
+
+        def walk(top, onerror=None, **kwargs):
+            if onerror is not None:
+                onerror(
+                    PermissionError(
+                        13, "Permission denied", str(Path(top) / "secret")
+                    )
+                )
+            return real_walk(top, onerror=onerror, **kwargs)
+
+        monkeypatch.setattr(engine_module.os, "walk", walk)
+        runner = make_runner(tmp_path)
+        findings = runner.run([tmp_path])
+        assert [finding.rule for finding in findings] == ["RPL099"]
+        assert findings[0].path.endswith("secret")
+        assert "could not be read" in findings[0].message
+
+
+class TestCliCache:
+    VIOLATION = """
+    import numpy as np
+
+
+    def noisy():
+        return np.random.default_rng()
+    """
+
+    def write_fixture(self, tmp_path):
+        (tmp_path / "pkg").mkdir(exist_ok=True)
+        (tmp_path / "pkg" / "mod.py").write_text(
+            textwrap.dedent(self.VIOLATION), encoding="utf-8"
+        )
+
+    def test_cache_flag_round_trip(self, tmp_path, monkeypatch, capsys):
+        self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["pkg", "--no-registries", "--no-baseline", "--cache"]) == 1
+        captured = capsys.readouterr()
+        assert "RPL001" in captured.out
+        assert "cold cache" in captured.err
+        assert (tmp_path / ".repro-lint-cache.json").exists()
+
+        assert main(["pkg", "--no-registries", "--no-baseline", "--cache"]) == 1
+        captured = capsys.readouterr()
+        assert "RPL001" in captured.out  # warm replay keeps the finding
+        assert "warm cache" in captured.err
+        assert "0/1 files parsed" in captured.err
+
+    def test_no_cache_forces_a_full_run(self, tmp_path, monkeypatch, capsys):
+        self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "pkg",
+                    "--no-registries",
+                    "--no-baseline",
+                    "--cache",
+                    "--no-cache",
+                ]
+            )
+            == 1
+        )
+        assert "no cache" in capsys.readouterr().err
+        assert not (tmp_path / ".repro-lint-cache.json").exists()
+
+    def test_select_change_invalidates_via_key(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["pkg", "--no-registries", "--no-baseline", "--cache"]) == 1
+        capsys.readouterr()
+        # A narrower rule set must not replay the RPL001 finding.
+        assert (
+            main(
+                [
+                    "pkg",
+                    "--select",
+                    "RPL004",
+                    "--no-registries",
+                    "--no-baseline",
+                    "--cache",
+                ]
+            )
+            == 0
+        )
+        assert "cold cache" in capsys.readouterr().err
+
+    def test_stale_baseline_prints_regeneration_hint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["pkg", "--no-registries", "--write-baseline"]) == 0
+        # Fix the violation: the baseline entry goes stale and the CLI
+        # must print the exact regeneration command and the new size.
+        (tmp_path / "pkg" / "mod.py").write_text(
+            "def tidy():\n    return 1\n", encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert main(["pkg", "--no-registries"]) == 1
+        out = capsys.readouterr().out
+        assert "python -m repro.tools.lint pkg --write-baseline" in out
+        assert "down by 1" in out
+
+    def test_github_format_emits_annotations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self.write_fixture(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "pkg",
+                    "--no-registries",
+                    "--no-baseline",
+                    "--format=github",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "::error file=pkg/mod.py,line=" in out
+        assert "title=repro-lint RPL001::" in out

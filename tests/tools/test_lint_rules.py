@@ -79,11 +79,15 @@ class TestDeterminismRule:
             import numpy as np
 
 
-            def tidy(seed: int):
+            def tidy(seed: int = 0):
                 rng = np.random.default_rng(seed)
                 legacy = np.random.RandomState(42)
                 started = time.perf_counter()
                 return rng, legacy, started
+
+
+            def driver():
+                return tidy(123)
             """,
         )
         assert findings == []
